@@ -1,0 +1,102 @@
+"""Shared harness for the figure-regeneration benchmarks.
+
+Each ``benchmarks/test_fig*.py`` module does two things:
+
+1. **Regenerates its paper figure** — replays the figure's full workload
+   through every applicable method, computes the paper's RMSE series, and
+   writes the resulting tables to ``benchmarks/results/<ID>.txt`` (also
+   echoed to stdout; run pytest with ``-s`` to see them live).  These
+   tables are the source for EXPERIMENTS.md.
+2. **Benchmarks streaming throughput** — measures per-tuple update cost of
+   each method on that figure's workload via pytest-benchmark.
+
+Figure regeneration happens once per module (a module-scoped fixture), so
+``pytest benchmarks/ --benchmark-only`` both refreshes the result tables
+and produces the timing table.
+
+Set ``REPRO_BENCH_SIZE`` to an integer to truncate every stream (quick
+smoke runs); by default each panel uses its canonical full size.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.engine import methods_for_query
+from repro.eval.experiments import EXPERIMENTS, PanelResult, run_experiment
+from repro.eval.report import (
+    format_experiment_result,
+    format_rmse_series_table,
+    format_tracking_table,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Number of tuples each throughput round processes.
+THROUGHPUT_SLICE = 2_000
+
+
+def bench_size() -> int | None:
+    """Optional global stream-size override for quick runs."""
+    raw = os.environ.get("REPRO_BENCH_SIZE")
+    return int(raw) if raw else None
+
+
+def regenerate(experiment_id: str, **kwargs: object) -> list[PanelResult]:
+    """Run one figure's experiment at full size and persist its tables."""
+    panels = run_experiment(experiment_id, size=bench_size(), **kwargs)
+    spec = EXPERIMENTS[experiment_id]
+
+    sections = [f"{spec.figure}: {spec.description}", "=" * 70]
+    for panel_result in panels:
+        panel = panel_result.panel
+        title = (
+            f"[{panel.dataset}] {panel.query.describe()} "
+            f"(m={spec.num_buckets}, order={panel.ordering})"
+        )
+        sections.append(format_experiment_result(title, panel_result.results))
+        sections.append("")
+        sections.append("RMSE_i series (the figure's error curves):")
+        sections.append(format_rmse_series_table(panel_result.results, checkpoints=10))
+        sections.append("")
+        sections.append("Tracking the query answer (the figure's value curves):")
+        sections.append(format_tracking_table(panel_result.results, checkpoints=10))
+        sections.append("")
+
+    text = "\n".join(sections)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+    print(f"\n{text}")
+    return panels
+
+
+def throughput_case(experiment_id: str, panel_index: int, method: str):
+    """Build a zero-argument callable that streams one slice through ``method``.
+
+    Returns ``(runner, n_tuples)``; the runner constructs a fresh estimator
+    and pushes the slice, so each benchmark round measures warm-up plus
+    ``n_tuples`` updates.
+    """
+    from repro.core.engine import build_estimator
+
+    spec = EXPERIMENTS[experiment_id]
+    panel = spec.panels[panel_index]
+    records = panel.load(size=THROUGHPUT_SLICE)
+
+    def run() -> float:
+        estimator = build_estimator(
+            panel.query, method, num_buckets=spec.num_buckets, stream=records
+        )
+        out = 0.0
+        for record in records:
+            out = estimator.update(record)
+        return out
+
+    return run, len(records)
+
+
+def figure_methods(experiment_id: str) -> list[str]:
+    """The methods a figure compares (paper naming, presentation order)."""
+    spec = EXPERIMENTS[experiment_id]
+    return methods_for_query(spec.panels[0].query)

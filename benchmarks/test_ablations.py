@@ -1,0 +1,131 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+A module-scoped fixture replays a fixed workload across each knob's
+settings and writes the accuracy tables to
+``benchmarks/results/ablations.txt`` (so they are produced even under
+``--benchmark-only``, like the figure regenerations).  The benchmark tests
+then time a representative setting of each knob, putting the cost side of
+every trade-off in the timing table.
+
+Knobs (see DESIGN.md section 7):
+
+* ``k_std``          — CLT focus half-width, AVG estimators;
+* ``num_intervals``  — local-extrema tracker resolution, sliding extrema;
+* ``drift_tolerance``— reallocation deadband, landmark AVG;
+* ``rebuild_period`` — periodic window re-sort, sliding AVG;
+* ``num_buckets``    — the overall space budget (the paper's Figure 7 axis).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from _harness import bench_size
+from repro.core.engine import build_estimator
+from repro.core.exact import exact_series
+from repro.core.query import CorrelatedQuery
+from repro.datasets.registry import load_dataset
+from repro.eval.report import format_table
+
+SIZE = 6_000
+RESULTS_PATH = Path(__file__).parent / "results" / "ablations.txt"
+
+LM_AVG = CorrelatedQuery("count", "avg")
+SW_MIN = CorrelatedQuery("count", "min", epsilon=99.0, window=500)
+SW_AVG = CorrelatedQuery("count", "avg", window=500)
+LM_MIN = CorrelatedQuery("count", "min", epsilon=99.0)
+
+
+def _rmse(records, query, method="piecemeal-uniform", num_buckets=10, **kwargs) -> float:
+    estimator = build_estimator(
+        query, method, num_buckets=num_buckets, stream=records, **kwargs
+    )
+    outputs = np.array([estimator.update(r) for r in records])
+    exact = np.array(exact_series(records, query))
+    return float(np.sqrt(np.mean((outputs - exact) ** 2)))
+
+
+@pytest.fixture(scope="module")
+def usage():
+    return load_dataset("USAGE", size=bench_size() or SIZE)
+
+
+@pytest.fixture(scope="module")
+def multifrac():
+    return load_dataset("MULTIFRAC", size=bench_size() or SIZE)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def ablation_report(usage, multifrac):
+    """Run every accuracy sweep once and persist the tables."""
+    sections = []
+
+    def section(title: str, settings: list[tuple[str, float]]) -> dict[str, float]:
+        rows = [[label, f"{value:.3f}"] for label, value in settings]
+        sections.append(f"{title}\n{format_table(['setting', 'RMSE'], rows)}\n")
+        return dict(settings)
+
+    k_sweep = section(
+        "AVG focus half-width k_std (landmark AVG, USAGE)",
+        [(f"k_std={k}", _rmse(usage, LM_AVG, k_std=k)) for k in (0.5, 1.0, 2.0, 3.0, 5.0)],
+    )
+    # Too narrow an interval must be visibly worse than the default.
+    assert k_sweep["k_std=3.0"] < k_sweep["k_std=0.5"]
+
+    section(
+        "Sliding extrema tracker intervals (sliding MIN, MULTIFRAC)",
+        [
+            (f"num_intervals={n}", _rmse(multifrac, SW_MIN, num_intervals=n))
+            for n in (3, 5, 10, 25, 50)
+        ],
+    )
+
+    section(
+        "Reallocation deadband drift_tolerance (landmark AVG, USAGE)",
+        [
+            (f"drift_tolerance={t}", _rmse(usage, LM_AVG, drift_tolerance=t))
+            for t in (0.1, 0.3, 1.0, 3.0)
+        ],
+    )
+
+    rebuild_sweep = section(
+        "Periodic rebuild period (sliding AVG, MULTIFRAC)",
+        [
+            ("rebuild disabled" if p == 0 else f"rebuild every {p}",
+             _rmse(multifrac, SW_AVG, rebuild_period=p))
+            for p in (0, 250, 50)
+        ],
+    )
+    assert rebuild_sweep["rebuild every 50"] <= rebuild_sweep["rebuild disabled"] * 1.5
+
+    bucket_sweep = section(
+        "Bucket budget m (landmark MIN, USAGE)",
+        [(f"m={m}", _rmse(usage, LM_MIN, num_buckets=m)) for m in (5, 10, 20, 40)],
+    )
+    assert bucket_sweep["m=40"] <= bucket_sweep["m=5"] * 2.0
+
+    text = "Ablation results\n================\n\n" + "\n".join(sections)
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(text)
+    print(f"\n{text}")
+    return sections
+
+
+@pytest.mark.parametrize(
+    "label, query, kwargs",
+    [
+        ("k_std", LM_AVG, {"k_std": 3.0}),
+        ("num_intervals", SW_MIN, {"num_intervals": 10}),
+        ("drift_tolerance", LM_AVG, {"drift_tolerance": 0.3}),
+        ("rebuild_period", SW_AVG, {"rebuild_period": 50}),
+        ("bucket_budget", LM_MIN, {}),
+    ],
+)
+def test_knob_runtime(benchmark, usage, multifrac, label, query, kwargs):
+    """Streaming cost of each knob's representative setting (2K tuples)."""
+    records = (multifrac if query.is_sliding else usage)[:2000]
+    result = benchmark(lambda: _rmse(records, query, **kwargs))
+    assert result >= 0.0

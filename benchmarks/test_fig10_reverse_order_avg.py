@@ -1,0 +1,30 @@
+"""Figure 10: COUNT/AVG landmark with partially-sorted reverse arrival order.
+
+The mean drops sharply mid-stream, breaking the CLT convergence
+assumption.  Expected shape: all methods degrade; true equidepth wins;
+focused methods still clearly beat equiwidth.
+
+Regenerates the figure's accuracy tables into ``benchmarks/results/F10.txt``
+and benchmarks per-method streaming throughput on the figure's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import figure_methods, regenerate, throughput_case
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerated_figure():
+    """Replay the full workload once and persist the result tables."""
+    return regenerate("F10")
+
+
+@pytest.mark.parametrize("method", figure_methods("F10"))
+def test_throughput(benchmark, method):
+    """Per-method cost of streaming one workload slice of the first panel."""
+    run, n_tuples = throughput_case("F10", 0, method)
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = n_tuples

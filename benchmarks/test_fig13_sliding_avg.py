@@ -1,0 +1,30 @@
+"""Figure 13: Correlated COUNT with independent AVG over a sliding window (w=500).
+
+ZIPF and MGCTY.  Expected shape: focused methods competitive with
+equidepth; uniform partitioning more robust than quantile; wholesale
+methods correct themselves after regime changes.
+
+Regenerates the figure's accuracy tables into ``benchmarks/results/F13.txt``
+and benchmarks per-method streaming throughput on the figure's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import figure_methods, regenerate, throughput_case
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerated_figure():
+    """Replay the full workload once and persist the result tables."""
+    return regenerate("F13")
+
+
+@pytest.mark.parametrize("method", figure_methods("F13"))
+def test_throughput(benchmark, method):
+    """Per-method cost of streaming one workload slice of the first panel."""
+    run, n_tuples = throughput_case("F13", 0, method)
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = n_tuples

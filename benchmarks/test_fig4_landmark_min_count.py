@@ -1,0 +1,30 @@
+"""Figure 4: Correlated COUNT with independent MIN over a landmark window.
+
+USAGE (eps=99) and ZIPF (eps=1000), 10 buckets.  Expected shape:
+heuristics bracket and lose; equidepth beats equiwidth; every focused
+method tracks the exact answer with small, stabilising RMSE.
+
+Regenerates the figure's accuracy tables into ``benchmarks/results/F4.txt``
+and benchmarks per-method streaming throughput on the figure's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import figure_methods, regenerate, throughput_case
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerated_figure():
+    """Replay the full workload once and persist the result tables."""
+    return regenerate("F4")
+
+
+@pytest.mark.parametrize("method", figure_methods("F4"))
+def test_throughput(benchmark, method):
+    """Per-method cost of streaming one workload slice of the first panel."""
+    run, n_tuples = throughput_case("F4", 0, method)
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = n_tuples

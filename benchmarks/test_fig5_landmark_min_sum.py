@@ -1,0 +1,29 @@
+"""Figure 5: Correlated SUM with independent MIN over a landmark window.
+
+Same panels as Figure 4 with SUM(y) as the dependent aggregate.
+Expected shape: an even larger focused-vs-equidepth gap.
+
+Regenerates the figure's accuracy tables into ``benchmarks/results/F5.txt``
+and benchmarks per-method streaming throughput on the figure's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import figure_methods, regenerate, throughput_case
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerated_figure():
+    """Replay the full workload once and persist the result tables."""
+    return regenerate("F5")
+
+
+@pytest.mark.parametrize("method", figure_methods("F5"))
+def test_throughput(benchmark, method):
+    """Per-method cost of streaming one workload slice of the first panel."""
+    run, n_tuples = throughput_case("F5", 0, method)
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = n_tuples

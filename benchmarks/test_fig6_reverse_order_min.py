@@ -1,0 +1,30 @@
+"""Figure 6: COUNT/MIN landmark with partially-sorted reverse arrival order.
+
+Large values first, then a sudden drop in the running minimum.
+Expected shape: equidepth error stays high after the drop while the
+focused methods recover (reinitialisation on the disjoint region jump).
+
+Regenerates the figure's accuracy tables into ``benchmarks/results/F6.txt``
+and benchmarks per-method streaming throughput on the figure's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import figure_methods, regenerate, throughput_case
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerated_figure():
+    """Replay the full workload once and persist the result tables."""
+    return regenerate("F6")
+
+
+@pytest.mark.parametrize("method", figure_methods("F6"))
+def test_throughput(benchmark, method):
+    """Per-method cost of streaming one workload slice of the first panel."""
+    run, n_tuples = throughput_case("F6", 0, method)
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = n_tuples

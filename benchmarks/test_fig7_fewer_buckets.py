@@ -1,0 +1,29 @@
+"""Figure 7: COUNT/MIN landmark with a 5-bucket budget.
+
+Half the bucket budget separates the focused methods; all of them
+must still beat the traditional baselines.
+
+Regenerates the figure's accuracy tables into ``benchmarks/results/F7.txt``
+and benchmarks per-method streaming throughput on the figure's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import figure_methods, regenerate, throughput_case
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerated_figure():
+    """Replay the full workload once and persist the result tables."""
+    return regenerate("F7")
+
+
+@pytest.mark.parametrize("method", figure_methods("F7"))
+def test_throughput(benchmark, method):
+    """Per-method cost of streaming one workload slice of the first panel."""
+    run, n_tuples = throughput_case("F7", 0, method)
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = n_tuples

@@ -1,0 +1,30 @@
+"""Figure 8: Correlated COUNT with independent AVG over a landmark window.
+
+USAGE and MULTIFRAC, 10 buckets.  Expected shape: the running-mean
+heuristic is competitive (the mean converges early); focused methods
+beat equidepth decisively on MULTIFRAC (paper: ~180 vs <30).
+
+Regenerates the figure's accuracy tables into ``benchmarks/results/F8.txt``
+and benchmarks per-method streaming throughput on the figure's workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import figure_methods, regenerate, throughput_case
+
+
+@pytest.fixture(scope="module", autouse=True)
+def regenerated_figure():
+    """Replay the full workload once and persist the result tables."""
+    return regenerate("F8")
+
+
+@pytest.mark.parametrize("method", figure_methods("F8"))
+def test_throughput(benchmark, method):
+    """Per-method cost of streaming one workload slice of the first panel."""
+    run, n_tuples = throughput_case("F8", 0, method)
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = n_tuples

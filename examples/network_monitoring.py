@@ -1,0 +1,82 @@
+"""Network monitoring: correlated aggregates over bursty SNMP-style traffic.
+
+The paper's second motivating application: routers are polled periodically
+and an operator wants to know, per interface, *"how often is the total
+outbound traffic within 50% of the maximum outbound traffic?"* — a
+correlated aggregate with MAX as the independent aggregate:
+
+    COUNT { y :  x > 0.5 * MAX(x) }
+
+Traffic volumes are modelled with the binomial multifractal generator (the
+paper cites Feldmann et al.: WAN traffic is well described by multifractal
+cascades).  The monitor runs one sliding-window estimator per interface in
+constant space per interface, and flags interfaces that spend a large share
+of the window near their peak (sustained saturation — a congestion signal).
+
+Usage::
+
+    python examples/network_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import build_estimator
+from repro.core.exact import ExactOracle
+from repro.core.query import CorrelatedQuery
+from repro.datasets.multifractal import multifractal_stream
+from repro.streams.model import Record
+
+WINDOW = 500  # polls per window (e.g. ~8 hours of 1-minute polls)
+NUM_INTERFACES = 4
+POLLS = 4_000
+
+#: "within 50% of the maximum": x >= MAX/2, i.e. MAX/(1+eps) with eps = 1.
+EPSILON = 1.0
+SATURATION_ALERT = 0.35  # alert when >35% of the window is near peak
+
+
+def make_interface_traffic(interface: int) -> list[Record]:
+    """Bursty per-interface outbound byte counts (multifractal volumes)."""
+    records = multifractal_stream(
+        n=POLLS, seed=100 + interface, bias=0.75 + 0.04 * interface, domain=1.0e9
+    )
+    # Shift away from zero: an idle interface still emits keepalive bytes.
+    return [Record(x=r.x + 1.0e3, y=1.0) for r in records]
+
+
+def main() -> None:
+    query = CorrelatedQuery(
+        dependent="count", independent="max", epsilon=EPSILON, window=WINDOW
+    )
+    print(f"query per interface: {query.describe()}")
+    print(f"monitoring {NUM_INTERFACES} interfaces, {POLLS} polls each\n")
+
+    header = f"{'interface':>9}  {'near-peak (est)':>15}  {'near-peak (exact)':>17}  {'share':>6}  alert"
+    print(header)
+    print("-" * len(header))
+
+    for interface in range(NUM_INTERFACES):
+        traffic = make_interface_traffic(interface)
+        estimator = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+        oracle = ExactOracle(query, (r.x for r in traffic))
+
+        estimate = exact = 0.0
+        for record in traffic:
+            estimate = estimator.update(record)
+            exact = oracle.update(record)
+
+        share = estimate / WINDOW
+        alert = "SATURATED" if share > SATURATION_ALERT else "-"
+        print(
+            f"{interface:>9}  {estimate:>15.1f}  {exact:>17.1f}  {share:>6.1%}  {alert}"
+        )
+
+    print(
+        "\nEach estimator holds 10 buckets + O(intervals) trackers per "
+        "interface;\nthe exact column is the unbounded-state oracle, shown "
+        "for validation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim: metadata lives in pyproject.toml.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (legacy develop-mode path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``methods``
+    List every estimation method with a one-line description.
+``datasets``
+    List the built-in data sets.
+``experiments``
+    List the paper-figure experiment registry.
+``run <ID>``
+    Replay one paper figure (e.g. ``run F4 --size 2000``) and print its
+    accuracy tables.
+``estimate``
+    Run one ad hoc correlated aggregate over a built-in data set and
+    compare a method against the exact oracle, e.g.::
+
+        python -m repro estimate --dataset USAGE --independent min \\
+            --epsilon 99 --method piecemeal-uniform --size 5000
+
+    or directly in the paper's notation::
+
+        python -m repro estimate --query "COUNT{y: x > AVG(x)} OVER SLIDING(500)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.engine import METHODS, build_estimator, methods_for_query
+from repro.core.exact import exact_series
+from repro.core.parser import parse_query
+from repro.core.query import CorrelatedQuery
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.metrics import prefix_rmse_series, sliding_rmse_series
+from repro.eval.report import (
+    format_experiment_result,
+    format_rmse_series_table,
+    format_table,
+    format_tracking_table,
+)
+from repro.exceptions import ReproError
+
+_METHOD_BLURBS = {
+    "wholesale-uniform": "focused histogram, full re-partition, equal widths",
+    "wholesale-quantile": "focused histogram, full re-partition, quantile buckets",
+    "piecemeal-uniform": "focused histogram, boundary-only moves (paper's choice)",
+    "piecemeal-quantile": "focused histogram, boundary-only moves, quantile buckets",
+    "equiwidth": "whole-domain equiwidth baseline (a-priori domain)",
+    "equidepth": "offline 'true' equidepth baseline (unfair, per the paper)",
+    "streaming-equidepth": "feasible GK-quantile equidepth (footnote 5 baseline)",
+    "heuristic-reset": "memoryless lower bound (extrema)",
+    "heuristic-continue": "memoryless upper bound (extrema)",
+    "heuristic-running": "memoryless running-mean heuristic (AVG)",
+    "exact": "unbounded-state oracle (ground truth)",
+}
+
+
+def _cmd_methods(_: argparse.Namespace) -> int:
+    rows = [[name, _METHOD_BLURBS.get(name, "")] for name in METHODS]
+    print(format_table(["method", "description"], rows))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        records = load_dataset(name, size=64)
+        xs = [r.x for r in records]
+        rows.append([name, f"{min(xs):.4g}", f"{max(xs):.4g}"])
+    print(format_table(["dataset", "x min (64-sample)", "x max (64-sample)"], rows))
+    return 0
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    rows = [
+        [spec.experiment_id, spec.figure, spec.description]
+        for spec in EXPERIMENTS.values()
+    ]
+    print(format_table(["id", "figure", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    methods = args.methods.split(",") if args.methods else None
+    panels = run_experiment(
+        args.experiment, size=args.size, methods=methods, num_buckets=args.buckets
+    )
+    spec = EXPERIMENTS[args.experiment]
+    print(f"{spec.figure}: {spec.description}\n")
+    for panel_result in panels:
+        panel = panel_result.panel
+        title = f"[{panel.dataset}] {panel.query.describe()} (order={panel.ordering})"
+        print(format_experiment_result(title, panel_result.results))
+        print()
+        print(format_rmse_series_table(panel_result.results, checkpoints=args.checkpoints))
+        print()
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    if args.query:
+        query = parse_query(args.query)
+    else:
+        query = CorrelatedQuery(
+            dependent=args.dependent,
+            independent=args.independent,
+            epsilon=args.epsilon,
+            window=args.window,
+            two_sided=args.two_sided,
+        )
+    records = load_dataset(args.dataset, size=args.size)
+    method = args.method or methods_for_query(query)[2]  # piecemeal-uniform
+    estimator = build_estimator(
+        query, method, num_buckets=args.buckets, stream=records
+    )
+    outputs = [estimator.update(r) for r in records]
+    exact = exact_series(records, query)
+
+    import numpy as np
+
+    from repro.eval.tracker import MethodResult
+
+    out_arr = np.asarray(outputs)
+    exact_arr = np.asarray(exact)
+    if query.is_sliding:
+        series = sliding_rmse_series(out_arr, exact_arr, query.window)  # type: ignore[arg-type]
+    else:
+        series = prefix_rmse_series(out_arr, exact_arr)
+    result = MethodResult(method, out_arr, exact_arr, series)
+
+    print(f"query  : {query.describe()}")
+    print(f"stream : {args.dataset}, {len(records)} tuples")
+    print(f"method : {method} (m={args.buckets})\n")
+    print(format_tracking_table({method: result}, checkpoints=args.checkpoints))
+    print(f"\nfinal RMSE_n: {result.final_rmse:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Correlated aggregates over continual data streams (SIGMOD 2001).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list estimation methods").set_defaults(
+        handler=_cmd_methods
+    )
+    sub.add_parser("datasets", help="list built-in data sets").set_defaults(
+        handler=_cmd_datasets
+    )
+    sub.add_parser("experiments", help="list paper-figure experiments").set_defaults(
+        handler=_cmd_experiments
+    )
+
+    run = sub.add_parser("run", help="replay one paper figure")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--size", type=int, default=None, help="truncate streams to N tuples")
+    run.add_argument("--methods", default=None, help="comma-separated method subset")
+    run.add_argument("--buckets", type=int, default=None, help="override bucket budget")
+    run.add_argument("--checkpoints", type=int, default=10)
+    run.set_defaults(handler=_cmd_run)
+
+    est = sub.add_parser("estimate", help="ad hoc query over a built-in data set")
+    est.add_argument(
+        "--query",
+        default=None,
+        help="paper notation, e.g. 'COUNT{y: x <= (1+99)*MIN(x)} OVER SLIDING(500)' "
+        "(overrides the structured flags below)",
+    )
+    est.add_argument("--dataset", default="USAGE", help="USAGE/MGCTY/ZIPF/MULTIFRAC")
+    est.add_argument("--dependent", default="count", choices=["count", "sum", "avg"])
+    est.add_argument("--independent", default="min", choices=["min", "max", "avg"])
+    est.add_argument("--epsilon", type=float, default=0.0)
+    est.add_argument("--window", type=int, default=None)
+    est.add_argument("--two-sided", action="store_true", dest="two_sided")
+    est.add_argument("--method", default=None, choices=list(METHODS))
+    est.add_argument("--size", type=int, default=5000)
+    est.add_argument("--buckets", type=int, default=10)
+    est.add_argument("--checkpoints", type=int, default=10)
+    est.set_defaults(handler=_cmd_estimate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like cat does.
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover - double-close race
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Estimator factory keyed by the paper's method names.
+
+The evaluation harness, benchmarks, and examples all construct estimators
+through :func:`build_estimator`, so the mapping from a paper method name
+(e.g. ``piecemeal-uniform``) to a configured estimator class lives in
+exactly one place.
+
+Method names:
+
+========================  ====================================================
+``wholesale-uniform``     focused histogram, wholesale reallocation, uniform
+``wholesale-quantile``    focused histogram, wholesale reallocation, quantile
+``piecemeal-uniform``     focused histogram, piecemeal reallocation, uniform
+``piecemeal-quantile``    focused histogram, piecemeal reallocation, quantile
+``equiwidth``             traditional whole-domain equiwidth baseline
+``equidepth``             the paper's "true" (offline) equidepth baseline
+``streaming-equidepth``   feasible GK-based equidepth (footnote 5's baseline)
+``heuristic-reset``       memoryless lower bound (extrema only)
+``heuristic-continue``    memoryless upper bound (extrema only)
+``heuristic-running``     memoryless running-mean heuristic (avg only)
+``exact``                 the exact oracle (ground truth)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.baselines import (
+    EquidepthEstimator,
+    EquiwidthEstimator,
+    StreamingEquidepthEstimator,
+)
+from repro.core.exact import ExactOracle
+from repro.core.heuristics import AverageHeuristic, ExtremaHeuristic
+from repro.core.landmark_avg import LandmarkAvgEstimator
+from repro.core.landmark_extrema import LandmarkExtremaEstimator
+from repro.core.query import CorrelatedQuery
+from repro.core.sliding_avg import SlidingAvgEstimator
+from repro.core.sliding_extrema import SlidingExtremaEstimator
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record, StreamAlgorithm
+
+#: The focused methods, in the paper's naming.
+FOCUSED_METHODS = (
+    "wholesale-uniform",
+    "wholesale-quantile",
+    "piecemeal-uniform",
+    "piecemeal-quantile",
+)
+
+#: Every method name accepted by :func:`build_estimator`.
+METHODS = FOCUSED_METHODS + (
+    "equiwidth",
+    "equidepth",
+    "streaming-equidepth",
+    "heuristic-reset",
+    "heuristic-continue",
+    "heuristic-running",
+    "exact",
+)
+
+
+def _build_focused(
+    query: CorrelatedQuery, strategy: str, policy: str, num_buckets: int, **kwargs: object
+) -> StreamAlgorithm:
+    if query.independent in ("min", "max"):
+        if query.is_sliding:
+            return SlidingExtremaEstimator(
+                query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
+            )
+        return LandmarkExtremaEstimator(
+            query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
+        )
+    if query.is_sliding:
+        return SlidingAvgEstimator(
+            query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
+        )
+    return LandmarkAvgEstimator(
+        query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
+    )
+
+
+def build_estimator(
+    query: CorrelatedQuery,
+    method: str,
+    num_buckets: int = 10,
+    stream: Sequence[Record] | None = None,
+    domain: tuple[float, float] | None = None,
+    universe: Sequence[float] | None = None,
+    **kwargs: object,
+) -> StreamAlgorithm:
+    """Construct a configured estimator for ``query``.
+
+    Parameters
+    ----------
+    query:
+        The correlated aggregate to estimate.
+    method:
+        One of :data:`METHODS`.
+    num_buckets:
+        Bucket budget ``m`` for histogram methods.
+    stream:
+        The recorded stream; used to derive ``domain``/``universe`` for the
+        baselines and the oracle when those are not given explicitly (those
+        methods hold offline knowledge by design).
+    domain:
+        A-priori value domain for ``equiwidth``.
+    universe:
+        All x values, for ``equidepth`` and ``exact``.
+    kwargs:
+        Extra configuration forwarded to focused estimators (``k_std``,
+        ``num_intervals``, ``drift_tolerance``, ``swap_period``).
+    """
+    if method not in METHODS:
+        raise ConfigurationError(f"unknown method {method!r}; choose from {METHODS}")
+
+    if method in FOCUSED_METHODS:
+        strategy, policy = method.split("-")
+        return _build_focused(query, strategy, policy, num_buckets, **kwargs)
+
+    if method == "streaming-equidepth":
+        return StreamingEquidepthEstimator(query, num_buckets, **kwargs)  # type: ignore[arg-type]
+
+    if method == "equiwidth":
+        if domain is None:
+            if stream is None:
+                raise ConfigurationError("equiwidth needs domain=(low, high) or stream=")
+            xs = [r.x for r in stream]
+            low, high = min(xs), max(xs)
+            if high <= low:  # constant stream: widen the domain minimally
+                pad = max(abs(low) * 1e-9, 1e-12)
+                low, high = low - pad, high + pad
+            domain = (low, high)
+        return EquiwidthEstimator(query, num_buckets, domain)
+
+    if method in ("equidepth", "exact"):
+        if universe is None:
+            if stream is None:
+                raise ConfigurationError(f"{method} needs universe= or stream=")
+            universe = [r.x for r in stream]
+        if method == "equidepth":
+            return EquidepthEstimator(query, num_buckets, universe)
+        return ExactOracle(query, universe)
+
+    if method in ("heuristic-reset", "heuristic-continue"):
+        return ExtremaHeuristic(query, variant=method.split("-")[1])
+
+    # heuristic-running
+    return AverageHeuristic(query)
+
+
+def methods_for_query(query: CorrelatedQuery, include_exact: bool = False) -> list[str]:
+    """The methods applicable to ``query``, in presentation order."""
+    methods = list(FOCUSED_METHODS) + ["equidepth", "equiwidth"]
+    if not query.is_sliding:
+        # The feasible equidepth flavour is insert-only (GK summaries
+        # cannot delete), so it joins landmark comparisons only.
+        methods.append("streaming-equidepth")
+        if query.independent in ("min", "max"):
+            methods += ["heuristic-reset", "heuristic-continue"]
+        else:
+            methods += ["heuristic-running"]
+    if include_exact:
+        methods.append("exact")
+    return methods

@@ -1,0 +1,121 @@
+"""Memoryless reference heuristics (paper Section 3.2.1).
+
+    "As a frame of reference, we used two simple heuristics to maintain a
+    running independent aggregate value and either (i) reset the count or
+    (ii) continue to add to the existing one, when a new extrema value is
+    encountered; this gives a lower- and upper-bound on the exact count,
+    respectively."
+
+These keep a single counter and the exact running independent aggregate —
+no histogram at all — so they bracket what any summary-free algorithm can
+achieve.  For AVG as the independent aggregate, the analogous memoryless
+heuristic accumulates tuples that qualified *against the mean at their
+arrival time*; the paper observes it performs surprisingly well once the
+running mean has converged.
+
+All heuristics are landmark-scope estimators (the scopes the paper plots
+them in); sliding scopes would additionally need expiry bookkeeping that a
+memoryless method by definition does not have.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record, ensure_finite
+from repro.structures.welford import RunningMoments
+
+VARIANTS = ("reset", "continue")
+
+
+class ExtremaHeuristic:
+    """Reset/continue counter for extrema-band queries over a landmark scope.
+
+    ``variant='reset'`` zeroes the accumulator whenever a new extremum
+    shifts the qualifying band — dropping previously qualifying tuples that
+    may still qualify, hence a *lower bound*.  ``variant='continue'`` keeps
+    the accumulator — retaining tuples that no longer qualify, hence an
+    *upper bound*.
+    """
+
+    def __init__(self, query: CorrelatedQuery, variant: str = "reset") -> None:
+        if query.independent not in ("min", "max"):
+            raise ConfigurationError(
+                f"ExtremaHeuristic needs a min/max query, got {query.independent!r}"
+            )
+        if query.is_sliding:
+            raise ConfigurationError("heuristics are landmark-scope estimators")
+        if variant not in VARIANTS:
+            raise ConfigurationError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        self._query = query
+        self._variant = variant
+        self._extremum: float | None = None
+        self._count = 0.0
+        self._weight = 0.0
+
+    @property
+    def query(self) -> CorrelatedQuery:
+        return self._query
+
+    def _is_new_extremum(self, x: float) -> bool:
+        if self._extremum is None:
+            return True
+        if self._query.independent == "min":
+            return x < self._extremum
+        return x > self._extremum
+
+    def update(self, record: Record) -> float:
+        """Consume the next tuple; return the current estimate."""
+        ensure_finite(record)
+        if self._is_new_extremum(record.x):
+            self._extremum = record.x
+            if self._variant == "reset":
+                self._count = 0.0
+                self._weight = 0.0
+        if self._query.qualifies(record.x, self._extremum):  # type: ignore[arg-type]
+            self._count += 1.0
+            self._weight += record.y
+        return self.estimate()
+
+    def estimate(self) -> float:
+        """Current value of the single accumulator."""
+        return self._query.value_from(self._count, self._weight)
+
+
+class AverageHeuristic:
+    """Accumulate tuples that beat the running mean at arrival time.
+
+    Keeps the exact running mean (one pass) and a single accumulator; each
+    arriving tuple is tested against the *current* mean and never revisited.
+    Accurate exactly when the mean converges early — the behaviour the
+    paper's Figure 8 demonstrates and its Figure 10 breaks.
+    """
+
+    def __init__(self, query: CorrelatedQuery) -> None:
+        if query.independent != "avg":
+            raise ConfigurationError(
+                f"AverageHeuristic needs an avg query, got {query.independent!r}"
+            )
+        if query.is_sliding:
+            raise ConfigurationError("heuristics are landmark-scope estimators")
+        self._query = query
+        self._moments = RunningMoments()
+        self._count = 0.0
+        self._weight = 0.0
+
+    @property
+    def query(self) -> CorrelatedQuery:
+        return self._query
+
+    def update(self, record: Record) -> float:
+        """Consume the next tuple; return the current estimate."""
+        ensure_finite(record)
+        self._moments.push(record.x)
+        if self._query.qualifies(record.x, self._moments.mean):
+            self._count += 1.0
+            self._weight += record.y
+        return self.estimate()
+
+    def estimate(self) -> float:
+        """Current value of the single accumulator."""
+        return self._query.value_from(self._count, self._weight)

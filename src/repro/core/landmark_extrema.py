@@ -1,0 +1,248 @@
+"""Landmark-window correlated aggregates with an extrema independent
+(paper Section 3.1.2).
+
+The focus region for MIN is ``[a, b] = [min, (1+eps) * min]`` (for MAX,
+``[max/(1+eps), max]``).  Landmark extrema are *monotonic*: the minimum only
+falls, so ``b`` only falls, and any tuple above ``b`` can be discarded
+forever — the estimator never spends buckets outside the region.  When a new
+extremum arrives the region shifts and one of the paper's two conditions
+fires:
+
+* ``condition_1`` (new region disjoint from the old — for MIN,
+  ``b' <= a``): **InitializeHistogram** — the histogram restarts empty over
+  the new region; no approximation error is incurred because no retained
+  tuple can qualify again.
+* ``condition_2`` (region shifted but overlaps): **ReallocateHistogram** —
+  wholesale or piecemeal reallocation onto the new region; mass truncated
+  off the far end is discarded (monotonicity: it can never re-qualify), and
+  the resulting approximation error is not cumulative.
+
+During warm-up the estimator buffers in-region tuples exactly (the paper's
+InitializeHistogram reads until m tuples survive the purges), so early
+answers are exact.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from repro.histograms.bucket import BucketArray
+from repro.histograms.maintenance import merge_split_swap
+from repro.histograms.partition import (
+    quantile_boundaries_from_values,
+    uniform_boundaries,
+)
+from repro.histograms.reallocate import (
+    POLICIES,
+    piecemeal_reallocate,
+    wholesale_reallocate,
+)
+from repro.streams.model import Record, ensure_finite
+
+STRATEGIES = ("wholesale", "piecemeal")
+
+
+class LandmarkExtremaEstimator:
+    """Single-pass estimator for ``AGG-D{y : x in extrema band}``, landmark scope.
+
+    Parameters
+    ----------
+    query:
+        A :class:`~repro.core.query.CorrelatedQuery` with ``independent``
+        ``'min'`` or ``'max'`` and ``window=None``.
+    num_buckets:
+        Bucket budget ``m`` (the paper uses 5 and 10).
+    strategy:
+        ``'wholesale'`` or ``'piecemeal'`` reallocation.
+    policy:
+        ``'uniform'`` or ``'quantile'`` partitioning.
+    swap_period:
+        Under the quantile policy, attempt one merge/split swap every this
+        many insertions (the paper's periodic rebalancing check).
+    """
+
+    def __init__(
+        self,
+        query: CorrelatedQuery,
+        num_buckets: int = 10,
+        strategy: str = "piecemeal",
+        policy: str = "uniform",
+        swap_period: int = 32,
+    ) -> None:
+        if query.independent not in ("min", "max"):
+            raise ConfigurationError(
+                f"LandmarkExtremaEstimator needs a min/max query, got {query.independent!r}"
+            )
+        if query.is_sliding:
+            raise ConfigurationError(
+                "query has a sliding window; use SlidingExtremaEstimator"
+            )
+        if num_buckets < 2:
+            raise ConfigurationError(f"num_buckets must be >= 2, got {num_buckets}")
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        if policy not in POLICIES:
+            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if swap_period < 1:
+            raise ConfigurationError(f"swap_period must be >= 1, got {swap_period}")
+
+        self._query = query
+        self._m = num_buckets
+        self._strategy = strategy
+        self._policy = policy
+        self._swap_period = swap_period
+
+        self._extremum: float | None = None
+        self._buffer: list[Record] | None = []  # warm-up; None once built
+        self._hist: BucketArray | None = None
+        self._region: tuple[float, float] | None = None
+        self._adds_since_swap = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def query(self) -> CorrelatedQuery:
+        return self._query
+
+    @property
+    def extremum(self) -> float:
+        """The exact independent aggregate (landmark extrema are monotone)."""
+        if self._extremum is None:
+            raise StreamError("extremum before any tuple was observed")
+        return self._extremum
+
+    @property
+    def region(self) -> tuple[float, float]:
+        """Current focus region ``[a, b]``."""
+        if self._region is None:
+            raise StreamError("region before any tuple was observed")
+        return self._region
+
+    @property
+    def histogram(self) -> BucketArray | None:
+        """The live bucket array (None while warming up)."""
+        return self._hist
+
+    def _region_for(self, extremum: float) -> tuple[float, float]:
+        if extremum < 0.0:
+            raise StreamError(
+                "extrema focus regions require non-negative x values: "
+                f"(1+eps) scaling of {extremum} flips the region"
+            )
+        low = extremum if self._query.independent == "min" else self._query.threshold(extremum)
+        high = self._query.threshold(extremum) if self._query.independent == "min" else extremum
+        if high <= low:  # degenerate (extremum == 0): widen minimally
+            high = low + max(abs(low) * 1e-9, 1e-12)
+        return (low, high)
+
+    def _is_new_extremum(self, x: float) -> bool:
+        if self._extremum is None:
+            return True
+        if self._query.independent == "min":
+            return x < self._extremum
+        return x > self._extremum
+
+    # ------------------------------------------------------------- warm-up
+
+    def _warmup(self, record: Record) -> None:
+        assert self._buffer is not None
+        if self._is_new_extremum(record.x):
+            self._extremum = record.x
+            self._region = self._region_for(record.x)
+            low, high = self._region
+            self._buffer = [r for r in self._buffer if low <= r.x <= high]
+        low, high = self._region  # type: ignore[misc]
+        if low <= record.x <= high:
+            self._buffer.append(record)
+        if len(self._buffer) >= self._m:
+            self._build_histogram()
+
+    def _build_histogram(self) -> None:
+        assert self._buffer is not None and self._region is not None
+        low, high = self._region
+        if self._policy == "uniform":
+            edges = uniform_boundaries(low, high, self._m)
+        else:
+            edges = quantile_boundaries_from_values(
+                [r.x for r in self._buffer], self._m, low, high
+            )
+        self._hist = BucketArray(edges)
+        for record in self._buffer:
+            self._hist.add(record.x, record.y)
+        self._buffer = None
+
+    # -------------------------------------------------------- steady state
+
+    def _reinitialize(self, new_region: tuple[float, float]) -> None:
+        """condition_1: restart the histogram empty over the new region."""
+        low, high = new_region
+        self._hist = BucketArray(uniform_boundaries(low, high, self._m))
+
+    def _reallocate(self, new_region: tuple[float, float]) -> None:
+        """condition_2: move the buckets; far-side spill is discarded."""
+        assert self._hist is not None
+        low, high = new_region
+        if self._strategy == "wholesale":
+            self._hist, _, _ = wholesale_reallocate(self._hist, low, high, self._m, self._policy)
+        else:
+            self._hist, _, _ = piecemeal_reallocate(self._hist, low, high, self._m, self._policy)
+
+    def _shift_region(self, x: float) -> None:
+        assert self._region is not None
+        old_low, old_high = self._region
+        new_region = self._region_for(x)
+        new_low, new_high = new_region
+        if self._query.independent == "min":
+            disjoint = new_high <= old_low
+        else:
+            disjoint = new_low >= old_high
+        if disjoint:
+            self._reinitialize(new_region)
+        else:
+            self._reallocate(new_region)
+        self._extremum = x
+        self._region = new_region
+
+    def update(self, record: Record) -> float:
+        """Consume the next tuple; return the current estimate."""
+        ensure_finite(record)
+        if self._buffer is not None:
+            self._warmup(record)
+            return self.estimate()
+
+        assert self._region is not None and self._hist is not None
+        low, high = self._region
+        if self._is_new_extremum(record.x):
+            self._shift_region(record.x)
+            self._hist.add(record.x, record.y)
+            self._after_add()
+        elif low <= record.x <= high:
+            self._hist.add(record.x, record.y)
+            self._after_add()
+        # else: monotonicity — the tuple can never qualify; discard.
+        return self.estimate()
+
+    def _after_add(self) -> None:
+        if self._policy != "quantile":
+            return
+        self._adds_since_swap += 1
+        if self._adds_since_swap >= self._swap_period:
+            self._adds_since_swap = 0
+            assert self._hist is not None
+            merge_split_swap(self._hist)
+
+    # -------------------------------------------------------------- answer
+
+    def estimate(self) -> float:
+        """Current value of the output sequence ``S_out[i]``.
+
+        The focus region *is* the qualifying band, so the estimate is the
+        total retained mass; during warm-up the buffered answer is exact.
+        """
+        if self._buffer is not None:
+            count = float(len(self._buffer))
+            weight = sum(r.y for r in self._buffer)
+            return self._query.value_from(count, weight)
+        assert self._hist is not None
+        total = self._hist.total().clamped()
+        return self._query.value_from(total.count, total.weight)

@@ -1,0 +1,128 @@
+"""Run many correlated aggregates over one pass of the same stream.
+
+The paper's application scenario "allows users to specify ad hoc complex
+aggregates as the data stream flows by, and to request that results be
+computed and reported periodically".  A :class:`QueryEngine` is that loop:
+queries are registered (and deregistered) by name at any time — including
+mid-stream, where a new query simply starts its own landmark at the current
+position — and each arriving tuple is fanned out to every live estimator in
+one pass.
+
+Periodic reporting is a pull: :meth:`report` returns a name → estimate
+snapshot; :meth:`subscribe` registers a callback fired every ``period``
+tuples, mirroring "results ... reported periodically".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.engine import build_estimator
+from repro.core.parser import parse_query
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams.model import Record, StreamAlgorithm, ensure_finite
+
+Report = dict[str, float]
+Subscriber = Callable[[int, Report], None]
+
+
+class QueryEngine:
+    """Fan one stream out to many named correlated-aggregate estimators.
+
+    Parameters
+    ----------
+    method:
+        Default estimation method for registered queries (must be an
+        online method; each ``register`` call may override it).
+    num_buckets:
+        Default bucket budget.
+    """
+
+    def __init__(self, method: str = "piecemeal-uniform", num_buckets: int = 10) -> None:
+        self._default_method = method
+        self._default_buckets = num_buckets
+        self._estimators: dict[str, StreamAlgorithm] = {}
+        self._queries: dict[str, CorrelatedQuery] = {}
+        self._subscribers: list[tuple[int, Subscriber]] = []
+        self._position = 0
+
+    # ------------------------------------------------------------ registry
+
+    def __len__(self) -> int:
+        """Number of live queries."""
+        return len(self._estimators)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._estimators
+
+    @property
+    def position(self) -> int:
+        """Number of tuples consumed so far."""
+        return self._position
+
+    def register(
+        self,
+        name: str,
+        query: CorrelatedQuery | str,
+        method: str | None = None,
+        num_buckets: int | None = None,
+        **kwargs: object,
+    ) -> CorrelatedQuery:
+        """Add a query under ``name``; it sees tuples from now on.
+
+        ``query`` may be a :class:`CorrelatedQuery` or a string in the
+        paper's notation (parsed by :func:`repro.parse_query`).  Returns
+        the resolved query object.
+        """
+        if name in self._estimators:
+            raise ConfigurationError(f"query {name!r} is already registered")
+        resolved = parse_query(query) if isinstance(query, str) else query
+        self._estimators[name] = build_estimator(
+            resolved,
+            method or self._default_method,
+            num_buckets=num_buckets or self._default_buckets,
+            **kwargs,
+        )
+        self._queries[name] = resolved
+        return resolved
+
+    def deregister(self, name: str) -> bool:
+        """Drop a query; returns False if the name was unknown."""
+        self._queries.pop(name, None)
+        return self._estimators.pop(name, None) is not None
+
+    def query_for(self, name: str) -> CorrelatedQuery:
+        """The query registered under ``name``."""
+        if name not in self._queries:
+            raise StreamError(f"unknown query {name!r}")
+        return self._queries[name]
+
+    # ------------------------------------------------------------- streams
+
+    def subscribe(self, period: int, callback: Subscriber) -> None:
+        """Call ``callback(position, report)`` every ``period`` tuples."""
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self._subscribers.append((period, callback))
+
+    def update(self, record: Record) -> Report:
+        """Fan one tuple out to every live estimator; return all estimates."""
+        record = record if isinstance(record, Record) else Record(*record)
+        ensure_finite(record)
+        self._position += 1
+        report = {
+            name: estimator.update(record)
+            for name, estimator in self._estimators.items()
+        }
+        for period, callback in self._subscribers:
+            if self._position % period == 0:
+                callback(self._position, report)
+        return report
+
+    def report(self) -> Report:
+        """Current estimate of every live query (no tuple consumed)."""
+        return {
+            name: estimator.estimate()  # type: ignore[attr-defined]
+            for name, estimator in self._estimators.items()
+        }

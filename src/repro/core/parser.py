@@ -1,0 +1,111 @@
+"""Parse the paper's textual query notation into :class:`CorrelatedQuery`.
+
+The paper writes correlated aggregates as, e.g.::
+
+    COUNT{y: x <= (1+99)*MIN(x)}
+    SUM{y: x > AVG(x)}
+    COUNT{y: x >= MAX(x)/(1+9)}
+    COUNT{y: |x - AVG(x)| < 2.5}
+
+:func:`parse_query` accepts exactly these shapes (whitespace-insensitive,
+case-insensitive keywords) plus an optional scope suffix::
+
+    COUNT{y: x > AVG(x)} OVER SLIDING(500)
+    SUM{y: x <= (1+0.5)*MIN(x)} OVER LANDMARK
+
+so ad hoc queries — the paper's own use case, "users specify ad hoc complex
+aggregates as the data stream flows by" — can be written the way the paper
+writes them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError
+
+_NUMBER = r"(\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+
+#: COUNT{y: x <= (1+eps)*MIN(x)}    (also accepts `<`)
+_MIN_RE = re.compile(
+    rf"^(?P<dep>COUNT|SUM|AVG)\{{\s*y\s*:\s*x\s*<=?\s*\(\s*1\s*\+\s*{_NUMBER}\s*\)"
+    rf"\s*\*\s*MIN\(\s*x\s*\)\s*\}}$",
+    re.IGNORECASE,
+)
+
+#: COUNT{y: x >= MAX(x)/(1+eps)}    (also accepts `>`)
+_MAX_RE = re.compile(
+    rf"^(?P<dep>COUNT|SUM|AVG)\{{\s*y\s*:\s*x\s*>=?\s*MAX\(\s*x\s*\)\s*/\s*"
+    rf"\(\s*1\s*\+\s*{_NUMBER}\s*\)\s*\}}$",
+    re.IGNORECASE,
+)
+
+#: COUNT{y: x > AVG(x)}
+_AVG_RE = re.compile(
+    r"^(?P<dep>COUNT|SUM|AVG)\{\s*y\s*:\s*x\s*>\s*AVG\(\s*x\s*\)\s*\}$",
+    re.IGNORECASE,
+)
+
+#: COUNT{y: |x - AVG(x)| < eps}
+_AVG_BAND_RE = re.compile(
+    rf"^(?P<dep>COUNT|SUM|AVG)\{{\s*y\s*:\s*\|\s*x\s*-\s*AVG\(\s*x\s*\)\s*\|"
+    rf"\s*<\s*{_NUMBER}\s*\}}$",
+    re.IGNORECASE,
+)
+
+_SCOPE_RE = re.compile(
+    r"^(?P<body>.*?)\s+OVER\s+(?:(?P<landmark>LANDMARK)|SLIDING\(\s*(?P<window>\d+)\s*\))$",
+    re.IGNORECASE,
+)
+
+
+def parse_query(text: str) -> CorrelatedQuery:
+    """Parse one correlated aggregate written in the paper's notation.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` with the accepted
+    grammar when the text does not match.
+    """
+    body = text.strip()
+    window: int | None = None
+    scope_match = _SCOPE_RE.match(body)
+    if scope_match:
+        body = scope_match.group("body").strip()
+        if scope_match.group("window"):
+            window = int(scope_match.group("window"))
+
+    if match := _MIN_RE.match(body):
+        return CorrelatedQuery(
+            dependent=match.group("dep").lower(),
+            independent="min",
+            epsilon=float(match.group(2)),
+            window=window,
+        )
+    if match := _MAX_RE.match(body):
+        return CorrelatedQuery(
+            dependent=match.group("dep").lower(),
+            independent="max",
+            epsilon=float(match.group(2)),
+            window=window,
+        )
+    if match := _AVG_BAND_RE.match(body):
+        return CorrelatedQuery(
+            dependent=match.group("dep").lower(),
+            independent="avg",
+            epsilon=float(match.group(2)),
+            window=window,
+            two_sided=True,
+        )
+    if match := _AVG_RE.match(body):
+        return CorrelatedQuery(
+            dependent=match.group("dep").lower(), independent="avg", window=window
+        )
+
+    raise ConfigurationError(
+        f"cannot parse query {text!r}; accepted forms:\n"
+        "  COUNT{y: x <= (1+eps)*MIN(x)}\n"
+        "  COUNT{y: x >= MAX(x)/(1+eps)}\n"
+        "  COUNT{y: x > AVG(x)}\n"
+        "  COUNT{y: |x - AVG(x)| < eps}\n"
+        "(COUNT may be SUM or AVG; append 'OVER LANDMARK' or 'OVER SLIDING(w)')"
+    )

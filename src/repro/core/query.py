@@ -1,0 +1,163 @@
+"""Correlated-aggregate query specifications.
+
+A :class:`CorrelatedQuery` captures the level-1 stream aggregates the paper
+concentrates on (Section 2.1)::
+
+    S_out[i] = AGG-D { S_in[j].Y  |  j in scope(i)  and
+                       P(S_in[j].X, AGG-I { S_in[k].X | k in scope(i) }) }
+
+with the concrete instantiations:
+
+* independent MIN:  qualifies when ``MIN(x) <= x <= (1 + eps) * MIN(x)``
+  (the paper's one-sided relative band above the minimum);
+* independent MAX:  qualifies when ``MAX(x) / (1 + eps) <= x <= MAX(x)``
+  (the paper's Example 3 "within 10% of the longest call" shape);
+* independent AVG, one-sided: qualifies when ``x > AVG(x)`` (strict, per
+  Section 3.2.4);
+* independent AVG, two-sided (``two_sided=True``): qualifies when
+  ``AVG(x) - eps < x < AVG(x) + eps`` — the extension the paper notes is
+  straightforward ("two-sided correlations such as
+  COUNT{y: (AVG(x)-eps) < x < (AVG(x)+eps)}").
+
+The dependent aggregate is COUNT, SUM, or AVG over the qualifying ``y``
+values (AVG being the ratio of the other two).
+
+``window=None`` selects a landmark scope (the landmark itself is managed by
+the estimator's reset; the common case is the full window), an integer
+selects a sliding window of that many tuples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+DEPENDENTS = ("count", "sum", "avg")
+INDEPENDENTS = ("min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class CorrelatedQuery:
+    """Specification of one correlated aggregate.
+
+    Parameters
+    ----------
+    dependent:
+        ``'count'``, ``'sum'``, or ``'avg'`` — the aggregate over
+        qualifying ``y`` values.
+    independent:
+        ``'min'``, ``'max'``, or ``'avg'`` — the threshold aggregate over x.
+    epsilon:
+        Relative band width for extrema independents (must be positive —
+        the paper's experiments use 99 and 1000); *absolute* band
+        half-width for two-sided AVG queries; ignored for one-sided AVG.
+    window:
+        Sliding-window size in tuples, or ``None`` for a landmark scope.
+    two_sided:
+        For AVG independents only: select ``AVG - eps < x < AVG + eps``
+        instead of ``x > AVG``.
+    """
+
+    dependent: str = "count"
+    independent: str = "min"
+    epsilon: float = 0.0
+    window: int | None = None
+    two_sided: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dependent not in DEPENDENTS:
+            raise ConfigurationError(
+                f"dependent must be one of {DEPENDENTS}, got {self.dependent!r}"
+            )
+        if self.independent not in INDEPENDENTS:
+            raise ConfigurationError(
+                f"independent must be one of {INDEPENDENTS}, got {self.independent!r}"
+            )
+        if self.independent in ("min", "max") and self.epsilon <= 0.0:
+            raise ConfigurationError(
+                f"extrema queries need epsilon > 0, got {self.epsilon}"
+            )
+        if self.two_sided:
+            if self.independent != "avg":
+                raise ConfigurationError("two_sided is only defined for AVG independents")
+            if self.epsilon <= 0.0:
+                raise ConfigurationError(
+                    f"two-sided AVG queries need epsilon > 0, got {self.epsilon}"
+                )
+        if self.window is not None and self.window < 2:
+            raise ConfigurationError(f"window must be >= 2 tuples, got {self.window}")
+
+    @property
+    def is_sliding(self) -> bool:
+        """True when the scope is a sliding window."""
+        return self.window is not None
+
+    def threshold(self, independent_value: float) -> float:
+        """The predicate's principal cut point for the independent value.
+
+        For extrema it is the far edge of the qualifying band; for AVG it
+        is the mean itself (two-sided bands are centred on it).
+        """
+        if self.independent == "min":
+            return (1.0 + self.epsilon) * independent_value
+        if self.independent == "max":
+            return independent_value / (1.0 + self.epsilon)
+        return independent_value
+
+    def band(self, independent_value: float) -> tuple[float, float]:
+        """The qualifying interval ``(lo, hi)`` for the independent value.
+
+        One-sided AVG queries have an unbounded upper edge (``math.inf``).
+        """
+        if self.independent == "min":
+            return (independent_value, self.threshold(independent_value))
+        if self.independent == "max":
+            return (self.threshold(independent_value), independent_value)
+        if self.two_sided:
+            return (independent_value - self.epsilon, independent_value + self.epsilon)
+        return (independent_value, math.inf)
+
+    def qualifies(self, x: float, independent_value: float) -> bool:
+        """Exact predicate evaluation (used by the oracle and the tests).
+
+        Extrema bands are closed (``<=``), matching the paper's Section 2
+        instantiation; AVG comparisons are strict, matching Section 3.2.4
+        and the two-sided form in Section 3.1.
+        """
+        lo, hi = self.band(independent_value)
+        if self.independent in ("min", "max"):
+            return lo <= x <= hi
+        return lo < x < hi
+
+    def contribution(self, y: float) -> float:
+        """What a qualifying record adds to a COUNT or SUM accumulator."""
+        return 1.0 if self.dependent == "count" else y
+
+    def value_from(self, count: float, weight: float) -> float:
+        """Fold qualifying (count, sum-of-y) mass into the dependent value.
+
+        AVG over an empty qualifying set returns 0.0 — stream estimators
+        must emit one value per step, so the SQL ``NULL`` becomes the
+        neutral answer (documented rather than silent).
+        """
+        if self.dependent == "count":
+            return count
+        if self.dependent == "sum":
+            return weight
+        return weight / count if count > 0.0 else 0.0
+
+    def describe(self) -> str:
+        """Human-readable form, e.g. ``COUNT{y: x <= (1+99)*MIN(x)} [landmark]``."""
+        dep = self.dependent.upper()
+        if self.independent == "min":
+            pred = f"x <= (1+{self.epsilon:g})*MIN(x)"
+        elif self.independent == "max":
+            pred = f"x >= MAX(x)/(1+{self.epsilon:g})"
+        elif self.two_sided:
+            pred = f"|x - AVG(x)| < {self.epsilon:g}"
+        else:
+            pred = "x > AVG(x)"
+        scope = f"sliding w={self.window}" if self.is_sliding else "landmark"
+        return f"{dep}{{y: {pred}}} [{scope}]"

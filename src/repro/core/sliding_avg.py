@@ -1,0 +1,406 @@
+"""Sliding-window correlated aggregates with AVG as the independent
+aggregate (paper Section 4.1.3).
+
+    "The algorithms are basically the same as the landmark window versions,
+    except that the confidence interval does not shrink.  Instead, it stays
+    constant at [mu - sigma/sqrt(w), mu + sigma/sqrt(w)], where w is the
+    size of the sliding window."
+
+Differences from the landmark estimator:
+
+* the running moments support removal (reverse Welford) so the window mean
+  and deviation are exact over the live window;
+* the focus half-width uses ``sqrt(w)`` — it never converges, so the
+  region keeps moving with the windowed mean indefinitely;
+* window min/max (the tail-bucket spans) are approximated with the
+  interval-based extrema trackers, since exact sliding extrema are not
+  maintainable in constant space;
+* every step deletes the expiring tuple from the bucket currently covering
+  its value (paper Figure 11's delete step).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.landmark_avg import band_bounds, band_mass, pour_uniform
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
+from repro.histograms.maintenance import merge_split_swap
+from repro.histograms.partition import normal_quantile_boundaries, uniform_boundaries
+from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
+from repro.streams.model import Record, ensure_finite
+from repro.structures.intervals import IntervalExtremaTracker
+from repro.structures.ring_buffer import RingBuffer
+from repro.structures.welford import RunningMoments
+
+STRATEGIES = ("wholesale", "piecemeal")
+
+
+class SlidingAvgEstimator:
+    """Single-pass estimator for ``AGG-D{y : x > AVG(x)}`` over a sliding window.
+
+    Parameters
+    ----------
+    query:
+        A :class:`~repro.core.query.CorrelatedQuery` with
+        ``independent='avg'`` and a sliding ``window``.
+    num_buckets:
+        Total bucket budget ``m``; two are the tails, ``m - 2`` cover the
+        focus interval (require ``m >= 4``).
+    strategy, policy:
+        As in :class:`~repro.core.landmark_avg.LandmarkAvgEstimator`.
+    k_std:
+        Confidence half-width in units of ``sigma_hat / sqrt(w)``.
+    num_intervals:
+        Local-extrema intervals for the window min/max trackers.
+    drift_tolerance:
+        Reallocation trigger (both strategies), as a fraction of the mean
+        focus bucket width.
+    swap_period:
+        Quantile-policy merge/split maintenance cadence (insertions).
+    rebuild_period:
+        Re-sort the summary from the live window every this many tuples;
+        bounds how long mass classified under an old region can sit on the
+        wrong side of a drifting mean.  Costs O(w) per rebuild —
+        O(w / period) amortised per tuple.  ``None`` (default) selects
+        ``max(window // 10, num_buckets)``; 0 disables periodic rebuilds
+        (regime-change rebuilds still apply).
+    """
+
+    def __init__(
+        self,
+        query: CorrelatedQuery,
+        num_buckets: int = 10,
+        strategy: str = "piecemeal",
+        policy: str = "uniform",
+        k_std: float = 3.0,
+        num_intervals: int = 10,
+        drift_tolerance: float = 0.3,
+        swap_period: int = 32,
+        rebuild_period: int | None = None,
+    ) -> None:
+        if query.independent != "avg":
+            raise ConfigurationError(
+                f"SlidingAvgEstimator needs an avg query, got {query.independent!r}"
+            )
+        if not query.is_sliding:
+            raise ConfigurationError("query has a landmark scope; use LandmarkAvgEstimator")
+        if num_buckets < 4:
+            raise ConfigurationError(
+                f"num_buckets must be >= 4 (2 tails + >= 2 focus), got {num_buckets}"
+            )
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        if policy not in POLICIES:
+            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        window = query.window
+        assert window is not None
+        if num_buckets > window:
+            raise ConfigurationError(
+                f"num_buckets ({num_buckets}) cannot exceed window ({window})"
+            )
+        if num_intervals > window:
+            raise ConfigurationError(
+                f"num_intervals ({num_intervals}) cannot exceed window ({window})"
+            )
+        if k_std <= 0:
+            raise ConfigurationError(f"k_std must be positive, got {k_std}")
+
+        self._query = query
+        self._m = num_buckets
+        self._inner_m = num_buckets - 2
+        self._strategy = strategy
+        self._policy = policy
+        self._k = k_std
+        self._drift_tolerance = drift_tolerance
+        self._swap_period = swap_period
+        self._window = window
+        if rebuild_period is None:
+            rebuild_period = max(window // 10, num_buckets)
+        if rebuild_period < 0:
+            raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
+        self._rebuild_period = rebuild_period
+        self._steps_since_rebuild = 0
+
+        self._moments = RunningMoments()
+        self._min_tracker = IntervalExtremaTracker(window, num_intervals, mode="min")
+        self._max_tracker = IntervalExtremaTracker(window, num_intervals, mode="max")
+        # Each cell is a mutable [record, side] pair: the side ('L'eft tail,
+        # 'I'nner, 'R'ight tail) the record's mass went to at insertion, so
+        # expiry decrements the same account it credited.  Routing deletions
+        # by the *current* region instead would leave misclassified mass
+        # stranded in a tail forever (and drive the other tail negative).
+        self._ring: RingBuffer[list] = RingBuffer(window)
+
+        self._buffer: list[Record] | None = []
+        self._inner: BucketArray | None = None
+        self._left_tail = ZERO_MASS
+        self._right_tail = ZERO_MASS
+        self._adds_since_swap = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def query(self) -> CorrelatedQuery:
+        return self._query
+
+    @property
+    def mean(self) -> float:
+        """The exact mean of the live window."""
+        return self._moments.mean
+
+    @property
+    def focus_interval(self) -> tuple[float, float]:
+        if self._inner is None:
+            raise StreamError("focus_interval before the histogram was initialised")
+        return (self._inner.low, self._inner.high)
+
+    @property
+    def histogram(self) -> BucketArray | None:
+        return self._inner
+
+    def _bounds(self) -> tuple[float, float]:
+        """Approximate window min/max (tail spans) from the trackers."""
+        return (self._min_tracker.extremum(), self._max_tracker.extremum())
+
+    def _target_interval(self) -> tuple[float, float]:
+        mu = self._moments.mean
+        half = self._k * self._moments.std / math.sqrt(self._window)
+        if self._query.two_sided:
+            # Cover the whole band plus slack, as in the landmark version:
+            # the truncation points are the band edges mu +/- eps.
+            half += self._query.epsilon
+        xmin, xmax = self._bounds()
+        if half <= 0.0:
+            half = max(abs(mu) * 1e-9, 1e-12)
+        lo = max(mu - half, xmin)
+        hi = min(mu + half, xmax)
+        if hi <= lo:
+            span = max((xmax - xmin) * 1e-6, abs(mu) * 1e-9, 1e-12)
+            lo = max(mu - span, xmin)
+            hi = lo + 2.0 * span
+        return (lo, hi)
+
+    # ------------------------------------------------------------- warm-up
+
+    def _warmup(self, record: Record) -> None:
+        assert self._buffer is not None
+        self._buffer.append(record)
+        if len(self._buffer) >= self._m:
+            self._build_histogram()
+
+    def _partition(self, lo: float, hi: float) -> list[float]:
+        if self._policy == "uniform":
+            return uniform_boundaries(lo, hi, self._inner_m)
+        scale = self._moments.std / math.sqrt(self._window)
+        return normal_quantile_boundaries(self._moments.mean, scale, self._inner_m, lo, hi)
+
+    def _build_histogram(self) -> None:
+        lo, hi = self._target_interval()
+        self._inner = BucketArray(self._partition(lo, hi))
+        for cell in self._ring:  # warm-up is shorter than the window
+            cell[1] = self._route_add(cell[0])
+        self._buffer = None
+
+    # -------------------------------------------------------- steady state
+
+    def _classify(self, x: float) -> str:
+        assert self._inner is not None
+        if x < self._inner.low:
+            return "L"
+        if x > self._inner.high:
+            return "R"
+        return "I"
+
+    def _route_add(self, record: Record) -> str:
+        assert self._inner is not None
+        side = self._classify(record.x)
+        if side == "L":
+            self._left_tail += Mass(1.0, record.y)
+        elif side == "R":
+            self._right_tail += Mass(1.0, record.y)
+        else:
+            self._inner.add(record.x, record.y)
+            self._after_add()
+        return side
+
+    def _route_remove(self, record: Record, side: str) -> None:
+        """Expire a record from the account its mass was credited to."""
+        assert self._inner is not None
+        if side == "L":
+            self._left_tail = Mass(
+                self._left_tail.count - 1.0, self._left_tail.weight - record.y
+            )
+        elif side == "R":
+            self._right_tail = Mass(
+                self._right_tail.count - 1.0, self._right_tail.weight - record.y
+            )
+        else:
+            self._inner.remove(record.x, record.y)
+
+    def _after_add(self) -> None:
+        if self._policy != "quantile":
+            return
+        self._adds_since_swap += 1
+        if self._adds_since_swap >= self._swap_period:
+            self._adds_since_swap = 0
+            assert self._inner is not None
+            merge_split_swap(self._inner)
+
+    def _should_reallocate(self, lo: float, hi: float) -> bool:
+        assert self._inner is not None
+        if self._strategy == "wholesale":
+            return lo != self._inner.low or hi != self._inner.high
+        bucket_width = (self._inner.high - self._inner.low) / self._inner_m
+        tolerance = self._drift_tolerance * bucket_width
+        return abs(lo - self._inner.low) > tolerance or abs(hi - self._inner.high) > tolerance
+
+    def _reallocate(self, lo: float, hi: float) -> None:
+        assert self._inner is not None
+        old_lo, old_hi = self._inner.low, self._inner.high
+        xmin, xmax = self._bounds()
+
+        overlap = min(hi, old_hi) - max(lo, old_lo)
+        union = max(hi, old_hi) - min(lo, old_lo)
+        if overlap <= 0.25 * union:
+            # Regime change: the focus either jumped past its old position
+            # or exploded/collapsed in width (a dominant value entered or
+            # left the window, blowing up the deviation).  This is the
+            # sliding analogue of the paper's InitializeHistogram: restart
+            # the summary over the new region from the live window.
+            # Incremental tail arithmetic would strand previously
+            # correctly-classified mass on what is now the wrong side.
+            self._rebuild_from_window(lo, hi)
+            return
+
+        if self._strategy == "wholesale":
+            explicit = self._partition(lo, hi) if self._policy == "quantile" else None
+            new_inner, spill_low, spill_high = wholesale_reallocate(
+                self._inner, lo, hi, self._inner_m, "uniform", edges=explicit
+            )
+        else:
+            new_inner, spill_low, spill_high = piecemeal_reallocate(
+                self._inner, lo, hi, self._inner_m, self._policy
+            )
+
+        self._left_tail += spill_low
+        self._right_tail += spill_high
+
+        if lo < old_lo:
+            span = old_lo - xmin
+            fraction = 1.0 if span <= 0.0 else min((old_lo - lo) / span, 1.0)
+            share = self._left_tail.scaled(fraction)
+            self._left_tail = Mass(
+                self._left_tail.count - share.count, self._left_tail.weight - share.weight
+            )
+            pour_uniform(new_inner, lo, old_lo, share)
+        if hi > old_hi:
+            span = xmax - old_hi
+            fraction = 1.0 if span <= 0.0 else min((hi - old_hi) / span, 1.0)
+            share = self._right_tail.scaled(fraction)
+            self._right_tail = Mass(
+                self._right_tail.count - share.count, self._right_tail.weight - share.weight
+            )
+            pour_uniform(new_inner, old_hi, hi, share)
+
+        self._inner = new_inner
+
+    def _rebuild_from_window(self, lo: float, hi: float) -> None:
+        """Restart the summary over ``[lo, hi]`` from the live window.
+
+        Runs in O(w), but only on disjoint focus jumps (rare regime
+        changes); the per-tuple path stays O(m).
+        """
+        self._inner = BucketArray(self._partition(lo, hi))
+        self._left_tail = ZERO_MASS
+        self._right_tail = ZERO_MASS
+        self._steps_since_rebuild = 0
+        for cell in self._ring:
+            record = cell[0]
+            cell[1] = self._route_add(record)
+
+    def update(self, record: Record) -> float:
+        """Consume the next tuple (and expire the outgoing one); return the estimate."""
+        ensure_finite(record)
+        self._moments.push(record.x)
+        self._min_tracker.push(record.x)
+        self._max_tracker.push(record.x)
+        cell: list = [record, None]
+        evicted = self._ring.push(cell)
+        if evicted is not None:
+            self._moments.remove(evicted[0].x)
+
+        if self._buffer is not None:
+            self._warmup(record)
+            return self.estimate()
+
+        # Expire first (side-routed, so independent of the region), then
+        # move the region, then place the new arrival.  A regime-change or
+        # periodic rebuild routes the new arrival itself — the
+        # `cell[1] is None` check avoids adding it twice.
+        if evicted is not None:
+            self._route_remove(evicted[0], evicted[1])
+        lo, hi = self._target_interval()
+        self._steps_since_rebuild += 1
+        if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
+            self._rebuild_from_window(lo, hi)
+        elif self._should_reallocate(lo, hi):
+            self._reallocate(lo, hi)
+        if cell[1] is None:
+            cell[1] = self._route_add(record)
+        return self.estimate()
+
+    # -------------------------------------------------------------- answer
+
+    def estimate(self) -> float:
+        """Estimated dependent aggregate over the current window."""
+        if self._buffer is not None:
+            mean = self._moments.mean
+            qualifying = [r for r in self._buffer if self._query.qualifies(r.x, mean)]
+            count = float(len(qualifying))
+            weight = sum(r.y for r in qualifying)
+            return self._query.value_from(count, weight)
+
+        assert self._inner is not None
+        mu = self._moments.mean
+        xmin, xmax = self._bounds()
+        if not self._query.two_sided and xmax <= mu:
+            # The tracked max never understates the window max, so nothing
+            # in the window strictly exceeds the mean (an all-equal window)
+            # — the strict predicate selects nothing.
+            return 0.0
+        lo, hi = self._query.band(mu)
+        mass = band_mass(
+            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
+        ).clamped()
+        return self._query.value_from(mass.count, mass.weight)
+
+    def estimate_bounds(self) -> tuple[float, float]:
+        """Lower/upper bounds instead of the interpolated point estimate.
+
+        See :meth:`LandmarkAvgEstimator.estimate_bounds
+        <repro.core.landmark_avg.LandmarkAvgEstimator.estimate_bounds>`;
+        over a sliding window the bounds additionally inherit the
+        deletion-approximation error, so they bracket the *summary's* mass,
+        not a guaranteed envelope of the exact answer.
+        """
+        if self._query.dependent == "avg":
+            raise ConfigurationError("estimate_bounds is undefined for AVG dependents")
+        if self._buffer is not None:
+            value = self.estimate()
+            return (value, value)
+        assert self._inner is not None
+        mu = self._moments.mean
+        xmin, xmax = self._bounds()
+        if not self._query.two_sided and xmax <= mu:
+            return (0.0, 0.0)
+        lo, hi = self._query.band(mu)
+        lower, upper = band_bounds(
+            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
+        )
+        return (
+            self._query.value_from(lower.count, lower.weight),
+            self._query.value_from(upper.count, upper.weight),
+        )

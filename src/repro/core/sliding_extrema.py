@@ -1,0 +1,385 @@
+"""Sliding-window correlated aggregates with an extrema independent
+(paper Section 4.1.2).
+
+Over a sliding window extrema are *not* monotone: the window minimum can
+rise when the old minimum expires.  Two consequences drive the design:
+
+1. The independent aggregate itself must be approximated.  The window is
+   partitioned into fixed-length intervals with a local extremum each
+   (:class:`~repro.structures.intervals.IntervalExtremaTracker`); when the
+   global extremum departs, the remaining local extrema take over.
+2. The focus region must be wider than the landmark region, because the
+   minimum may move *up*.  The paper places buckets at
+   ``(min, ..., (1+eps) * maxmin, max)`` where ``maxmin`` is the maximum of
+   the local minima — the highest place the tracked minimum can move to
+   before an entire interval expires.  The band ``[min, (1+eps)*maxmin]``
+   gets the fine buckets; one catch-all bucket covers the rest up to the
+   window maximum.
+
+Each step both inserts the arriving tuple and deletes the expiring one
+(paper Figure 11); deletions are routed to the bucket currently covering
+the expired value, which is the accepted approximation when boundaries have
+moved since insertion.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
+from repro.histograms.maintenance import merge_split_swap
+from repro.histograms.partition import quantile_boundaries_from_values, uniform_boundaries
+from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
+from repro.core.landmark_avg import pour_uniform
+from repro.streams.model import Record, ensure_finite
+from repro.structures.intervals import IntervalExtremaTracker
+from repro.structures.ring_buffer import RingBuffer
+
+STRATEGIES = ("wholesale", "piecemeal")
+
+
+class SlidingExtremaEstimator:
+    """Single-pass estimator for extrema-band aggregates over a sliding window.
+
+    Parameters
+    ----------
+    query:
+        A :class:`~repro.core.query.CorrelatedQuery` with ``independent``
+        ``'min'`` or ``'max'`` and a sliding ``window``.
+    num_buckets:
+        Bucket budget ``m``; one bucket is the catch-all to the far
+        extremum, the remaining ``m - 1`` cover the focus band.
+    strategy, policy:
+        Reallocation strategy and partitioning policy, as in the landmark
+        estimators.
+    num_intervals:
+        Number of local-extrema intervals the window is split into.
+    drift_tolerance:
+        Deadband on the reallocation trigger, as a fraction of the mean
+        focus bucket width: reallocate when the tracked extremum has moved
+        further than this from the region's active edge (0 = any change,
+        the paper's literal condition_2).
+    swap_period:
+        Quantile-policy merge/split maintenance cadence (insertions).
+    rebuild_period:
+        Re-sort the summary from the live window every this many tuples;
+        bounds how long mass classified under an old region can sit in the
+        wrong account while the region drifts.  O(w / period) amortised per
+        tuple.  Default 0 — disabled: extrema-triggered reallocation keeps
+        the focus aligned with the monotone active edge, and periodic
+        uniform re-sorts would erase the strategy/policy differences the
+        estimator exists to study (near-disjoint-jump rebuilds still
+        apply).
+    """
+
+    def __init__(
+        self,
+        query: CorrelatedQuery,
+        num_buckets: int = 10,
+        strategy: str = "piecemeal",
+        policy: str = "uniform",
+        num_intervals: int = 10,
+        drift_tolerance: float = 0.0,
+        swap_period: int = 32,
+        rebuild_period: int | None = 0,
+    ) -> None:
+        if query.independent not in ("min", "max"):
+            raise ConfigurationError(
+                f"SlidingExtremaEstimator needs a min/max query, got {query.independent!r}"
+            )
+        if not query.is_sliding:
+            raise ConfigurationError(
+                "query has a landmark scope; use LandmarkExtremaEstimator"
+            )
+        if num_buckets < 3:
+            raise ConfigurationError(
+                f"num_buckets must be >= 3 (catch-all + >= 2 focus), got {num_buckets}"
+            )
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        if policy not in POLICIES:
+            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        window = query.window
+        assert window is not None
+        if num_buckets > window:
+            raise ConfigurationError(
+                f"num_buckets ({num_buckets}) cannot exceed window ({window})"
+            )
+        if num_intervals > window:
+            raise ConfigurationError(
+                f"num_intervals ({num_intervals}) cannot exceed window ({window})"
+            )
+
+        self._query = query
+        self._mode = query.independent
+        self._m = num_buckets
+        self._inner_m = num_buckets - 1
+        self._strategy = strategy
+        self._policy = policy
+        self._drift_tolerance = drift_tolerance
+        self._swap_period = swap_period
+        self._window = window
+        if rebuild_period is None:
+            rebuild_period = max(window // 10, num_buckets)
+        if rebuild_period < 0:
+            raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
+        self._rebuild_period = rebuild_period
+        self._steps_since_rebuild = 0
+
+        self._tracked = IntervalExtremaTracker(window, num_intervals, mode=self._mode)
+        opposite = "max" if self._mode == "min" else "min"
+        self._opposite = IntervalExtremaTracker(window, num_intervals, mode=opposite)
+        # Each cell is a mutable [record, side] pair: the side ('I'nner or
+        # 'T'ail) the record's mass was credited to at insertion, so expiry
+        # debits the same account even if the region moved in between.
+        self._ring: RingBuffer[list] = RingBuffer(window)
+
+        self._buffer: list[Record] | None = []
+        self._inner: BucketArray | None = None
+        self._tail = ZERO_MASS
+        self._adds_since_swap = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def query(self) -> CorrelatedQuery:
+        return self._query
+
+    @property
+    def extremum_estimate(self) -> float:
+        """The interval tracker's estimate of the window extremum."""
+        return self._tracked.extremum()
+
+    @property
+    def focus_interval(self) -> tuple[float, float]:
+        """Current focus band ``[lo, hi]`` (the finely bucketed region)."""
+        if self._inner is None:
+            raise StreamError("focus_interval before the histogram was initialised")
+        return (self._inner.low, self._inner.high)
+
+    @property
+    def histogram(self) -> BucketArray | None:
+        return self._inner
+
+    def _target_interval(self) -> tuple[float, float]:
+        extremum = self._tracked.extremum()
+        if extremum < 0.0:
+            raise StreamError(
+                "extrema focus regions require non-negative x values: "
+                f"(1+eps) scaling of {extremum} flips the region"
+            )
+        worst = self._tracked.worst_local()
+        if self._mode == "min":
+            lo = extremum
+            hi = self._query.threshold(worst)  # (1+eps) * maxmin
+        else:
+            lo = self._query.threshold(worst)  # minmax / (1+eps)
+            hi = extremum
+        if hi <= lo:
+            hi = lo + max(abs(lo) * 1e-9, 1e-12)
+        return (lo, hi)
+
+    def _tail_bounds(self) -> tuple[float, float]:
+        """Span of the catch-all region (from the focus edge to the far extremum)."""
+        assert self._inner is not None
+        far = self._opposite.extremum()
+        if self._mode == "min":
+            return (self._inner.high, max(far, self._inner.high))
+        return (min(far, self._inner.low), self._inner.low)
+
+    # ------------------------------------------------------------- warm-up
+
+    def _warmup(self, record: Record) -> None:
+        assert self._buffer is not None
+        self._buffer.append(record)
+        if len(self._buffer) >= self._m:
+            self._build_histogram()
+
+    def _build_histogram(self) -> None:
+        assert self._buffer is not None
+        lo, hi = self._target_interval()
+        if self._policy == "uniform":
+            edges = uniform_boundaries(lo, hi, self._inner_m)
+        else:
+            edges = quantile_boundaries_from_values(
+                [r.x for r in self._buffer], self._inner_m, lo, hi
+            )
+        self._inner = BucketArray(edges)
+        for cell in self._ring:  # warm-up is shorter than the window
+            cell[1] = self._route_add(cell[0])
+        self._buffer = None
+
+    # -------------------------------------------------------- steady state
+
+    def _in_focus(self, x: float) -> bool:
+        assert self._inner is not None
+        if self._mode == "min":
+            return x <= self._inner.high
+        return x >= self._inner.low
+
+    def _route_add(self, record: Record) -> str:
+        assert self._inner is not None
+        if self._in_focus(record.x):
+            self._inner.add(min(max(record.x, self._inner.low), self._inner.high), record.y)
+            self._after_add()
+            return "I"
+        self._tail += Mass(1.0, record.y)
+        return "T"
+
+    def _route_remove(self, record: Record, side: str) -> None:
+        """Expire a record from the account its mass was credited to."""
+        assert self._inner is not None
+        if side == "I":
+            self._inner.remove(record.x, record.y)
+        else:
+            self._tail = Mass(self._tail.count - 1.0, self._tail.weight - record.y)
+
+    def _after_add(self) -> None:
+        if self._policy != "quantile":
+            return
+        self._adds_since_swap += 1
+        if self._adds_since_swap >= self._swap_period:
+            self._adds_since_swap = 0
+            assert self._inner is not None
+            merge_split_swap(self._inner)
+
+    def _should_reallocate(self, lo: float, hi: float) -> bool:
+        # The paper's condition: reallocate when the *extremum* (the active
+        # edge of the region) changes — not when `maxmin` jitters.  maxmin
+        # moves with every interval turnover; reallocating on that jitter
+        # would re-interpolate all mass hundreds of times per window and
+        # diffuse it into the catch-all (a ratchet: each shrink cuts real
+        # mass out, each expansion pulls only a uniform-assumption trickle
+        # back).  The far boundary is refreshed whenever a reallocation
+        # does run, and a safety trigger fires if the query threshold ever
+        # escapes the finely bucketed region.
+        assert self._inner is not None
+        bucket_width = (self._inner.high - self._inner.low) / self._inner_m
+        deadband = self._drift_tolerance * bucket_width
+        threshold = self._query.threshold(self._tracked.extremum())
+        if self._mode == "min":
+            return abs(lo - self._inner.low) > deadband or threshold > self._inner.high
+        return abs(hi - self._inner.high) > deadband or threshold < self._inner.low
+
+    def _reallocate(self, lo: float, hi: float) -> None:
+        assert self._inner is not None
+        old_lo, old_hi = self._inner.low, self._inner.high
+        tail_lo, tail_hi = self._tail_bounds()
+
+        overlap = min(hi, old_hi) - max(lo, old_lo)
+        union = max(hi, old_hi) - min(lo, old_lo)
+        if overlap <= 0.25 * union:
+            # Disjoint or near-disjoint jump (a deep new extremum, or the
+            # old one expired wholesale): the sliding analogue of the
+            # paper's condition_1 — restart the summary over the new region
+            # from the live window.
+            self._rebuild_from_window(lo, hi)
+            return
+
+        if self._strategy == "wholesale":
+            new_inner, spill_low, spill_high = wholesale_reallocate(
+                self._inner, lo, hi, self._inner_m, self._policy
+            )
+        else:
+            new_inner, spill_low, spill_high = piecemeal_reallocate(
+                self._inner, lo, hi, self._inner_m, self._policy
+            )
+
+        if self._mode == "min":
+            # Catch-all sits above the focus: spill over the top joins it.
+            # Spill below the (rising) minimum belongs to live tuples whose
+            # mass was smeared downward by interpolation — clamp it back
+            # into the lowest bucket so total mass is conserved (expiring
+            # tuples will subtract it again via the clamped delete).
+            self._tail += spill_high
+            if spill_low.count != 0.0 or spill_low.weight != 0.0:
+                new_inner.add_mass(0, spill_low)
+            if hi > old_hi:  # focus grew into the catch-all: pull its share
+                span = tail_hi - old_hi
+                fraction = 1.0 if span <= 0.0 else min((hi - old_hi) / span, 1.0)
+                share = self._tail.scaled(fraction)
+                self._tail = Mass(
+                    self._tail.count - share.count, self._tail.weight - share.weight
+                )
+                pour_uniform(new_inner, old_hi, hi, share)
+        else:
+            self._tail += spill_low
+            if spill_high.count != 0.0 or spill_high.weight != 0.0:
+                new_inner.add_mass(new_inner.num_buckets - 1, spill_high)
+            if lo < old_lo:
+                span = old_lo - tail_lo
+                fraction = 1.0 if span <= 0.0 else min((old_lo - lo) / span, 1.0)
+                share = self._tail.scaled(fraction)
+                self._tail = Mass(
+                    self._tail.count - share.count, self._tail.weight - share.weight
+                )
+                pour_uniform(new_inner, lo, old_lo, share)
+
+        self._inner = new_inner
+
+    def _rebuild_from_window(self, lo: float, hi: float) -> None:
+        """Restart the summary over ``[lo, hi]`` from the live window.
+
+        Runs in O(w), but only on rebuild events (near-disjoint jumps and
+        the periodic re-sort); the per-tuple path stays O(m).
+        """
+        if self._policy == "uniform":
+            edges = uniform_boundaries(lo, hi, self._inner_m)
+        else:
+            edges = quantile_boundaries_from_values(
+                [cell[0].x for cell in self._ring], self._inner_m, lo, hi
+            )
+        self._inner = BucketArray(edges)
+        self._tail = ZERO_MASS
+        self._steps_since_rebuild = 0
+        for cell in self._ring:
+            cell[1] = self._route_add(cell[0])
+
+    def update(self, record: Record) -> float:
+        """Consume the next tuple (and expire the outgoing one); return the estimate."""
+        ensure_finite(record)
+        self._tracked.push(record.x)
+        self._opposite.push(record.x)
+        cell: list = [record, None]
+        evicted = self._ring.push(cell)
+
+        if self._buffer is not None:
+            # Warm-up is shorter than the window, so nothing can evict.
+            self._warmup(record)
+            return self.estimate()
+
+        # Expire first (side-routed, so independent of the region), then
+        # move the region, then place the new arrival.  A rebuild routes
+        # the new arrival itself — the `cell[1] is None` check avoids
+        # adding it twice.
+        if evicted is not None:
+            self._route_remove(evicted[0], evicted[1])
+        lo, hi = self._target_interval()
+        self._steps_since_rebuild += 1
+        if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
+            self._rebuild_from_window(lo, hi)
+        elif self._should_reallocate(lo, hi):
+            self._reallocate(lo, hi)
+        if cell[1] is None:
+            cell[1] = self._route_add(record)
+        return self.estimate()
+
+    # -------------------------------------------------------------- answer
+
+    def estimate(self) -> float:
+        """Estimated dependent aggregate over the current window."""
+        if self._buffer is not None:
+            extremum = self._tracked.extremum()
+            qualifying = [r for r in self._buffer if self._query.qualifies(r.x, extremum)]
+            count = float(len(qualifying))
+            weight = sum(r.y for r in qualifying)
+            return self._query.value_from(count, weight)
+
+        assert self._inner is not None
+        threshold = self._query.threshold(self._tracked.extremum())
+        if self._mode == "min":
+            mass = self._inner.estimate_leq(min(threshold, self._inner.high))
+        else:
+            mass = self._inner.estimate_geq(max(threshold, self._inner.low))
+        mass = mass.clamped()
+        return self._query.value_from(mass.count, mass.weight)

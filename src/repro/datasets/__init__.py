@@ -1,0 +1,31 @@
+"""Data-set generators for the paper's evaluation (Section 3.2.1).
+
+The paper evaluates on two real data sets (USAGE — proprietary AT&T customer
+usage; MGCTY — TIGER road crossings of Montgomery County, MD) and two
+synthetic ones (ZIPF, MULTIFRAC).  Neither real set is redistributable, so
+this package ships *synthetic equivalents* that reproduce the statistical
+properties the algorithms are sensitive to — value skew, dynamic range,
+multi-modality, and arrival order.  DESIGN.md documents each substitution.
+
+Every generator is deterministic given its seed and returns a list of
+:class:`~repro.streams.model.Record` objects.
+"""
+
+from repro.datasets.calldetail import CallRecord, call_detail_stream
+from repro.datasets.mgcty import mgcty_stream
+from repro.datasets.multifractal import multifractal_stream
+from repro.datasets.registry import DATASETS, dataset_names, load_dataset
+from repro.datasets.usage import usage_stream
+from repro.datasets.zipf import zipf_stream
+
+__all__ = [
+    "CallRecord",
+    "call_detail_stream",
+    "mgcty_stream",
+    "multifractal_stream",
+    "usage_stream",
+    "zipf_stream",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+]

@@ -1,0 +1,105 @@
+"""Synthetic stand-in for the paper's MGCTY data set.
+
+MGCTY is the latitude/longitude of 65K road crossings in Montgomery County,
+MD (originally from the TIGER data set, no longer distributable at the
+paper's URL).  For the one-dimensional stream algorithms the relevant
+properties are: a *bounded* value domain, a *multi-modal* distribution
+(dense crossing clusters around towns, sparse rural corridors), and
+non-random as-collected order (TIGER files enumerate features geographically,
+so nearby crossings appear together).
+
+The generator lays out a small road network: a handful of "towns" (dense
+2-D Gaussian clusters of crossings on a jittered grid) connected by
+"corridors" (sparse lines of crossings).  Records stream town by town —
+geographic order — with ``x`` the longitude-like coordinate and ``y`` the
+latitude-like coordinate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record
+
+#: Paper's MGCTY size: 65K road crossings (we use the nearest power of two).
+DEFAULT_SIZE = 65_536
+
+#: Bounding box in degrees, roughly Montgomery County, MD.
+LON_RANGE = (-77.53, -76.93)
+LAT_RANGE = (38.93, 39.35)
+
+
+def mgcty_stream(n: int = DEFAULT_SIZE, seed: int = 11, num_towns: int = 12) -> list[Record]:
+    """Generate the synthetic MGCTY stream of (longitude, latitude) records.
+
+    Parameters
+    ----------
+    n:
+        Number of crossings (paper: 65K).
+    seed:
+        RNG seed.
+    num_towns:
+        Number of dense clusters; the remainder of the points fall on
+        connecting corridors.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if num_towns <= 1:
+        raise ConfigurationError(f"num_towns must be > 1, got {num_towns}")
+
+    rng = np.random.default_rng(seed)
+    lon_lo, lon_hi = LON_RANGE
+    lat_lo, lat_hi = LAT_RANGE
+
+    centers = np.column_stack(
+        [
+            rng.uniform(lon_lo + 0.05, lon_hi - 0.05, size=num_towns),
+            rng.uniform(lat_lo + 0.04, lat_hi - 0.04, size=num_towns),
+        ]
+    )
+    # Town weight: a few big towns, many small ones (Zipf-ish populations).
+    weights = 1.0 / np.arange(1, num_towns + 1) ** 0.9
+    weights /= weights.sum()
+
+    town_points = int(n * 0.8)
+    corridor_points = n - town_points
+
+    per_town = rng.multinomial(town_points, weights)
+    blocks: list[np.ndarray] = []
+    for center, count in zip(centers, per_town):
+        spread = rng.uniform(0.008, 0.03)
+        # Street grids make crossing coordinates cluster on lattice lines:
+        # quantize a Gaussian cloud to a town-local grid and jitter slightly.
+        cloud = rng.normal(loc=center, scale=spread, size=(count, 2))
+        grid = 0.0018
+        cloud = np.round(cloud / grid) * grid + rng.normal(scale=grid * 0.08, size=(count, 2))
+        blocks.append(cloud)
+
+    # Corridors between consecutive towns (geographic order by longitude).
+    order = np.argsort(centers[:, 0])
+    segments = list(zip(order[:-1], order[1:]))
+    per_segment = rng.multinomial(corridor_points, np.full(len(segments), 1.0 / len(segments)))
+    for (a, b), count in zip(segments, per_segment):
+        t = rng.uniform(0.0, 1.0, size=count)[:, None]
+        line = centers[a] * (1.0 - t) + centers[b] * t
+        line += rng.normal(scale=0.004, size=(count, 2))
+        blocks.append(line)
+
+    points = np.concatenate(blocks, axis=0)
+    np.clip(points[:, 0], lon_lo, lon_hi, out=points[:, 0])
+    np.clip(points[:, 1], lat_lo, lat_hi, out=points[:, 1])
+
+    # As-collected order: blocks are already grouped geographically; add a
+    # light shuffle *within* each block to avoid perfectly smooth runs.
+    start = 0
+    pieces = []
+    for block in blocks:
+        end = start + len(block)
+        idx = start + rng.permutation(len(block))
+        pieces.append(idx)
+        start = end
+    index = np.concatenate(pieces)
+    points = points[index]
+
+    return [Record(float(lon), float(lat)) for lon, lat in points]

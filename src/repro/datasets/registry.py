@@ -1,0 +1,57 @@
+"""Named data-set registry used by experiments, benchmarks, and examples.
+
+``load_dataset(name)`` returns the canonical stream for a paper data set —
+the exact records (size, seed, order) every experiment in this repository
+uses, so results are comparable across the test suite, the benchmark
+harness, and the examples.  Loads are memoised because the evaluation
+harness replays the same stream under many methods.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from functools import lru_cache
+
+from repro.datasets.mgcty import mgcty_stream
+from repro.datasets.multifractal import multifractal_stream
+from repro.datasets.usage import usage_stream
+from repro.datasets.zipf import zipf_stream
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record
+
+#: Canonical generators, keyed by the paper's data-set names.
+DATASETS: dict[str, Callable[[], list[Record]]] = {
+    "USAGE": usage_stream,
+    "MGCTY": mgcty_stream,
+    "ZIPF": zipf_stream,
+    "MULTIFRAC": multifractal_stream,
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of the registered data sets, in the paper's order."""
+    return list(DATASETS)
+
+
+@lru_cache(maxsize=None)
+def _load(name: str, size: int | None) -> tuple[Record, ...]:
+    generator = DATASETS[name]
+    records = generator() if size is None else generator(n=size)  # type: ignore[call-arg]
+    return tuple(records)
+
+
+def load_dataset(name: str, size: int | None = None) -> list[Record]:
+    """Load a canonical data set by (case-insensitive) name.
+
+    Parameters
+    ----------
+    name:
+        One of ``USAGE``, ``MGCTY``, ``ZIPF``, ``MULTIFRAC``.
+    size:
+        Optional truncated stream length (used by fast test configurations);
+        ``None`` means the data set's canonical size.
+    """
+    key = name.upper()
+    if key not in DATASETS:
+        raise ConfigurationError(f"unknown dataset {name!r}; choose from {dataset_names()}")
+    return list(_load(key, size))

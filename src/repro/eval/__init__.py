@@ -1,0 +1,39 @@
+"""Evaluation harness: metrics, trackers, and the per-figure experiments.
+
+* :mod:`~repro.eval.metrics` — the paper's RMSE definitions (prefix RMSE
+  for landmark scopes, trailing-window RMSE for sliding scopes) plus
+  auxiliary error measures.
+* :mod:`~repro.eval.tracker` — run one or many methods over a recorded
+  stream against the exact oracle and collect error series.
+* :mod:`~repro.eval.experiments` — the registry of paper figures
+  (F4–F13) as executable experiment specifications.
+* :mod:`~repro.eval.report` — plain-text tables and tracking series for
+  terminal output and EXPERIMENTS.md.
+"""
+
+from repro.eval.experiments import EXPERIMENTS, ExperimentSpec, run_experiment
+from repro.eval.metrics import (
+    mean_absolute_error,
+    prefix_rmse,
+    prefix_rmse_series,
+    rmse,
+    sliding_rmse_series,
+)
+from repro.eval.report import format_experiment_result, format_tracking_table
+from repro.eval.tracker import MethodResult, evaluate_methods, run_method
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "run_experiment",
+    "rmse",
+    "prefix_rmse",
+    "prefix_rmse_series",
+    "sliding_rmse_series",
+    "mean_absolute_error",
+    "MethodResult",
+    "run_method",
+    "evaluate_methods",
+    "format_experiment_result",
+    "format_tracking_table",
+]

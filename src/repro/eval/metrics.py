@@ -1,0 +1,97 @@
+"""Error metrics — the paper's RMSE definitions and companions.
+
+Landmark scopes use the prefix RMSE of Section 3.2.1::
+
+    RMSE_n = sqrt( (1/n) * sum_{i=1}^{n} (S_out[i] - S_exact[i])^2 )
+
+Sliding scopes use the trailing-window RMSE of Section 4.2::
+
+    RMSE_n = sqrt( (1/w) * sum_{i=n-w}^{n} (S_out[i] - S_exact[i])^2 )
+
+Series variants return the metric at *every* step — these are the y-axes of
+the paper's ``RMSE_i`` plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _as_arrays(outputs: Sequence[float], exact: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    out = np.asarray(outputs, dtype=np.float64)
+    ref = np.asarray(exact, dtype=np.float64)
+    if out.shape != ref.shape:
+        raise ConfigurationError(
+            f"series length mismatch: outputs {out.shape} vs exact {ref.shape}"
+        )
+    if out.size == 0:
+        raise ConfigurationError("error metrics need non-empty series")
+    return out, ref
+
+
+def rmse(outputs: Sequence[float], exact: Sequence[float]) -> float:
+    """Plain RMSE over the whole series."""
+    out, ref = _as_arrays(outputs, exact)
+    return float(np.sqrt(np.mean((out - ref) ** 2)))
+
+
+def prefix_rmse(outputs: Sequence[float], exact: Sequence[float]) -> float:
+    """The landmark ``RMSE_n`` at the final step (equals :func:`rmse`)."""
+    return rmse(outputs, exact)
+
+
+def prefix_rmse_series(outputs: Sequence[float], exact: Sequence[float]) -> np.ndarray:
+    """``RMSE_i`` for every prefix — the landmark figures' error curves."""
+    out, ref = _as_arrays(outputs, exact)
+    squared = (out - ref) ** 2
+    cumulative = np.cumsum(squared)
+    steps = np.arange(1, out.size + 1, dtype=np.float64)
+    return np.sqrt(cumulative / steps)
+
+
+def sliding_rmse_series(
+    outputs: Sequence[float], exact: Sequence[float], window: int
+) -> np.ndarray:
+    """Trailing-window ``RMSE_i`` — the sliding figures' error curves.
+
+    Positions earlier than ``window`` average over the available prefix.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    out, ref = _as_arrays(outputs, exact)
+    squared = (out - ref) ** 2
+    cumulative = np.concatenate([[0.0], np.cumsum(squared)])
+    n = out.size
+    indices = np.arange(1, n + 1)
+    starts = np.maximum(indices - window, 0)
+    sums = cumulative[indices] - cumulative[starts]
+    lengths = indices - starts
+    return np.sqrt(sums / lengths)
+
+
+def mean_absolute_error(outputs: Sequence[float], exact: Sequence[float]) -> float:
+    """MAE over the whole series."""
+    out, ref = _as_arrays(outputs, exact)
+    return float(np.mean(np.abs(out - ref)))
+
+
+def max_absolute_error(outputs: Sequence[float], exact: Sequence[float]) -> float:
+    """Worst-case absolute error over the whole series."""
+    out, ref = _as_arrays(outputs, exact)
+    return float(np.max(np.abs(out - ref)))
+
+
+def mean_relative_error(
+    outputs: Sequence[float], exact: Sequence[float], floor: float = 1.0
+) -> float:
+    """Mean of ``|out - exact| / max(|exact|, floor)``.
+
+    The floor keeps early steps (tiny exact counts) from dominating.
+    """
+    out, ref = _as_arrays(outputs, exact)
+    denom = np.maximum(np.abs(ref), floor)
+    return float(np.mean(np.abs(out - ref) / denom))

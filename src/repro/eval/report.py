@@ -1,0 +1,87 @@
+"""Plain-text reporting: the tables and series the benchmarks print.
+
+The paper's results are line plots; a terminal harness regenerates them as
+(a) a final-RMSE summary table per figure and (b) a down-sampled tracking
+table (step, exact, per-method estimate) that shows the same curves row by
+row.  Both render as monospace text suitable for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.eval.tracker import MethodResult
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Right-aligned monospace table with a dashed header rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [_format_row(headers, widths)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_experiment_result(
+    title: str,
+    results: dict[str, MethodResult],
+) -> str:
+    """Final-RMSE summary for one panel, best method first."""
+    ordered = sorted(results.items(), key=lambda item: item[1].final_rmse)
+    rows = [
+        [name, f"{result.final_rmse:.3f}", f"{result.overall_rmse:.3f}"]
+        for name, result in ordered
+    ]
+    table = format_table(["method", "RMSE_n (final)", "RMSE (overall)"], rows)
+    return f"{title}\n{table}"
+
+
+def format_tracking_table(
+    results: dict[str, MethodResult],
+    checkpoints: int = 10,
+) -> str:
+    """Down-sampled tracking of exact vs estimated answers.
+
+    One row per checkpoint step, mirroring the paper's
+    "tracking the query answer" panels.
+    """
+    any_result = next(iter(results.values()))
+    n = any_result.exact.size
+    steps = np.unique(np.linspace(max(n // checkpoints, 1), n, checkpoints, dtype=int))
+    method_names = list(results)
+    headers = ["step", "exact", *method_names]
+    rows = []
+    for step in steps:
+        index = int(step) - 1
+        row = [str(int(step)), f"{any_result.exact[index]:.1f}"]
+        row.extend(f"{results[name].outputs[index]:.1f}" for name in method_names)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_rmse_series_table(
+    results: dict[str, MethodResult],
+    checkpoints: int = 10,
+) -> str:
+    """Down-sampled ``RMSE_i`` curves — the paper's error panels."""
+    any_result = next(iter(results.values()))
+    n = any_result.rmse_series.size
+    steps = np.unique(np.linspace(max(n // checkpoints, 1), n, checkpoints, dtype=int))
+    method_names = list(results)
+    headers = ["step", *method_names]
+    rows = []
+    for step in steps:
+        index = int(step) - 1
+        row = [str(int(step))]
+        row.extend(f"{results[name].rmse_series[index]:.2f}" for name in method_names)
+        rows.append(row)
+    return format_table(headers, rows)

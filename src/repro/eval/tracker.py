@@ -1,0 +1,105 @@
+"""Run estimators over recorded streams and collect error series.
+
+The tracker is the glue between the estimator factory and the metrics: it
+replays one recorded stream through one or many methods, computes the exact
+series once, and packages the output/error series the figures and tests
+consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import build_estimator, methods_for_query
+from repro.core.exact import exact_series
+from repro.core.query import CorrelatedQuery
+from repro.eval.metrics import prefix_rmse_series, rmse, sliding_rmse_series
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record
+
+
+@dataclass
+class MethodResult:
+    """One method's run over one stream."""
+
+    method: str
+    outputs: np.ndarray
+    exact: np.ndarray
+    rmse_series: np.ndarray = field(repr=False)
+
+    @property
+    def final_rmse(self) -> float:
+        """The figure's headline number: ``RMSE_n`` at the last step."""
+        return float(self.rmse_series[-1])
+
+    @property
+    def overall_rmse(self) -> float:
+        """Plain RMSE over the whole series."""
+        return rmse(self.outputs, self.exact)
+
+
+def run_method(
+    records: Sequence[Record],
+    query: CorrelatedQuery,
+    method: str,
+    num_buckets: int = 10,
+    **kwargs: object,
+) -> list[float]:
+    """Replay ``records`` through one method; return its output series."""
+    if not records:
+        raise ConfigurationError("run_method needs a non-empty stream")
+    estimator = build_estimator(
+        query, method, num_buckets=num_buckets, stream=records, **kwargs
+    )
+    return [estimator.update(r) for r in records]
+
+
+def evaluate_methods(
+    records: Sequence[Record],
+    query: CorrelatedQuery,
+    methods: Sequence[str] | None = None,
+    num_buckets: int = 10,
+    exact: Sequence[float] | None = None,
+    **kwargs: object,
+) -> dict[str, MethodResult]:
+    """Replay ``records`` through several methods against the exact oracle.
+
+    Parameters
+    ----------
+    records:
+        The recorded stream.
+    query:
+        The correlated aggregate.
+    methods:
+        Method names (defaults to every method applicable to the query).
+    num_buckets:
+        Bucket budget for histogram methods.
+    exact:
+        Precomputed exact series (recomputed once here when omitted).
+    kwargs:
+        Extra configuration for focused estimators.
+    """
+    if methods is None:
+        methods = methods_for_query(query)
+    reference = np.asarray(
+        exact if exact is not None else exact_series(records, query), dtype=np.float64
+    )
+    window = query.window
+    results: dict[str, MethodResult] = {}
+    for method in methods:
+        outputs = np.asarray(
+            run_method(records, query, method, num_buckets=num_buckets, **kwargs),
+            dtype=np.float64,
+        )
+        if query.is_sliding:
+            assert window is not None
+            series = sliding_rmse_series(outputs, reference, window)
+        else:
+            series = prefix_rmse_series(outputs, reference)
+        results[method] = MethodResult(
+            method=method, outputs=outputs, exact=reference, rmse_series=series
+        )
+    return results

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch any library failure with a single ``except`` clause while
+still being able to distinguish configuration errors from runtime stream
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An estimator, histogram, or query was constructed with invalid
+    parameters (e.g. a non-positive bucket count or window size)."""
+
+
+class StreamError(ReproError):
+    """A stream operation was used incorrectly (e.g. querying an estimator
+    before any tuple was observed, or deleting from an empty window)."""
+
+
+class EmptyScopeError(StreamError):
+    """An aggregate was requested over an empty scope.
+
+    Standard SQL semantics return ``NULL`` for aggregates over empty sets;
+    the library raises this exception instead so the caller makes an explicit
+    decision rather than silently propagating ``None``.
+    """
+
+
+class HistogramError(ReproError):
+    """A histogram invariant was violated (e.g. reallocating to a range that
+    does not intersect the current one through the wrong code path)."""

@@ -1,0 +1,51 @@
+"""Histogram substrate: buckets, baselines, partitioning, reallocation.
+
+The paper's estimators summarise the stream with ``m`` histogram buckets
+``<(v_1, f_1), ..., (v_m, f_m)>`` and answer threshold queries by
+*"estimating the overlap with the existing buckets"* under a local
+uniformity assumption.  This package provides:
+
+* :mod:`~repro.histograms.bucket` — the bucket-array primitive: contiguous
+  buckets tracking per-bucket COUNT **and** SUM(y) so both dependent
+  aggregates are answerable, with interpolation, truncation, split/merge.
+* :mod:`~repro.histograms.equiwidth` — the traditional equiwidth baseline
+  (single pass, whole-domain buckets fixed a priori).
+* :mod:`~repro.histograms.equidepth` — the paper's "true" equidepth
+  baseline: an *offline* histogram recomputed from all data at every step
+  (the paper grants it this unfair advantage deliberately).
+* :mod:`~repro.histograms.partition` — uniform and quantile partitioning
+  policies.
+* :mod:`~repro.histograms.reallocate` — WholesaleReallocate and
+  PiecemealReallocate (paper Figure 3) as pure functions on bucket arrays.
+* :mod:`~repro.histograms.maintenance` — merge/split "swap" maintenance for
+  quantile partitionings, scored by frequency variance ``Var(H)``.
+"""
+
+from repro.histograms.bucket import BucketArray, Mass
+from repro.histograms.equidepth import EquidepthHistogram
+from repro.histograms.equiwidth import EquiwidthHistogram
+from repro.histograms.maintenance import merge_split_swap, variance_of_frequencies
+from repro.histograms.partition import (
+    normal_quantile_boundaries,
+    quantile_boundaries_from_histogram,
+    quantile_boundaries_from_values,
+    uniform_boundaries,
+)
+from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
+from repro.histograms.streaming_equidepth import StreamingEquidepthHistogram
+
+__all__ = [
+    "BucketArray",
+    "Mass",
+    "EquidepthHistogram",
+    "EquiwidthHistogram",
+    "StreamingEquidepthHistogram",
+    "merge_split_swap",
+    "variance_of_frequencies",
+    "uniform_boundaries",
+    "normal_quantile_boundaries",
+    "quantile_boundaries_from_histogram",
+    "quantile_boundaries_from_values",
+    "wholesale_reallocate",
+    "piecemeal_reallocate",
+]

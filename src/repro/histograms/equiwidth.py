@@ -1,0 +1,69 @@
+"""The traditional equiwidth histogram baseline.
+
+The paper's experimental setup computes a *"true"* equiwidth histogram —
+equal-width buckets over the entire value domain, which must be known a
+priori (an advantage the streaming focused methods do not get).  This is
+the strawman the paper's first limitation targets: because buckets cover
+the whole domain, most of them are wasted on regions the correlated
+aggregate's focus interval never touches.
+
+Supports removal, so the sliding-window experiments reuse it directly.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.histograms.bucket import BucketArray, Mass
+from repro.histograms.partition import uniform_boundaries
+
+
+class EquiwidthHistogram:
+    """Equal-width buckets over a fixed, a-priori-known domain.
+
+    Parameters
+    ----------
+    num_buckets:
+        Bucket budget ``m``.
+    low, high:
+        The full value domain.  Values outside are clamped into the end
+        buckets (real systems would widen the domain; clamping keeps the
+        baseline simple and errs in its favour near the extremes).
+    """
+
+    def __init__(self, num_buckets: int, low: float, high: float) -> None:
+        if num_buckets <= 0:
+            raise ConfigurationError(f"num_buckets must be positive, got {num_buckets}")
+        if not high > low:
+            raise ConfigurationError(f"need high > low, got [{low}, {high}]")
+        self._buckets = BucketArray(uniform_boundaries(low, high, num_buckets))
+
+    @property
+    def num_buckets(self) -> int:
+        return self._buckets.num_buckets
+
+    @property
+    def bounds(self) -> tuple[float, float]:
+        return (self._buckets.low, self._buckets.high)
+
+    def _clamp(self, x: float) -> float:
+        return min(max(x, self._buckets.low), self._buckets.high)
+
+    def add(self, x: float, y: float = 1.0) -> None:
+        """Insert one tuple (x clamped to the domain)."""
+        self._buckets.add(self._clamp(x), y)
+
+    def remove(self, x: float, y: float = 1.0) -> None:
+        """Delete one previously inserted tuple."""
+        self._buckets.remove(self._clamp(x), y)
+
+    def estimate_leq(self, threshold: float) -> Mass:
+        """Interpolated (count, weight) with ``x <= threshold``."""
+        return self._buckets.estimate_leq(threshold).clamped()
+
+    def estimate_geq(self, threshold: float) -> Mass:
+        """Interpolated (count, weight) with ``x >= threshold``."""
+        return self._buckets.estimate_geq(threshold).clamped()
+
+    def total(self) -> Mass:
+        """Total inserted (count, weight) mass."""
+        return self._buckets.total()

@@ -1,0 +1,81 @@
+"""Merge/split "swap" maintenance for quantile partitionings.
+
+Under the quantile policy, buckets should hold (near-)equal frequencies,
+but streaming inserts unbalance them.  The paper (after Gibbons, Matias &
+Poosala's incremental histogram maintenance) periodically checks whether
+merging one adjacent pair while splitting one heavy bucket — a "swap" that
+keeps the bucket count constant — would improve the standard goodness
+measure for a quantiled partitioning, the variance of the frequencies::
+
+    Var(H) = (1/m) * sum_j (f_j - f_bar)^2
+
+and performs the swap only when there is a net gain.
+"""
+
+from __future__ import annotations
+
+from repro.histograms.bucket import BucketArray
+
+
+def variance_of_frequencies(histogram: BucketArray) -> float:
+    """``Var(H)`` — the paper's goodness measure for quantile partitionings."""
+    counts = histogram.counts
+    m = len(counts)
+    mean = sum(counts) / m
+    return sum((c - mean) ** 2 for c in counts) / m
+
+
+def merge_split_swap(histogram: BucketArray, min_gain: float = 0.0) -> bool:
+    """Try one merge+split swap; mutate ``histogram`` and report success.
+
+    The candidate merge is the adjacent pair with the smallest combined
+    count; the candidate split is the heaviest bucket (splitting halves its
+    frequency under local uniformity).  The swap is applied only when the
+    projected ``Var(H)`` decreases by more than ``min_gain`` and the merge
+    pair does not contain the split bucket (they would cancel out).
+
+    Returns True when a swap was performed.
+    """
+    counts = histogram.counts
+    m = len(counts)
+    if m < 3:
+        return False
+
+    merge_index = min(range(m - 1), key=lambda i: counts[i] + counts[i + 1])
+    split_index = max(range(m), key=lambda i: counts[i])
+    if split_index in (merge_index, merge_index + 1):
+        return False
+    if counts[split_index] <= 0.0:
+        return False
+
+    current = variance_of_frequencies(histogram)
+    projected_counts = list(counts)
+    merged = projected_counts[merge_index] + projected_counts[merge_index + 1]
+    half = projected_counts[split_index] / 2.0
+    # Build the post-swap frequency multiset: merge two slots into one,
+    # split one slot into two halves; the count stays m.
+    projected: list[float] = []
+    for i, value in enumerate(projected_counts):
+        if i == merge_index:
+            projected.append(merged)
+        elif i == merge_index + 1:
+            continue
+        elif i == split_index:
+            projected.extend((half, half))
+        else:
+            projected.append(value)
+    mean = sum(projected) / m
+    new_variance = sum((c - mean) ** 2 for c in projected) / m
+
+    if current - new_variance <= min_gain:
+        return False
+
+    # Apply: split first if it sits left of the merge pair, so indices of
+    # the other operation stay valid; otherwise merge first.
+    if split_index < merge_index:
+        histogram.split_bucket(split_index)
+        histogram.merge_buckets(merge_index + 1)
+    else:
+        histogram.merge_buckets(merge_index)
+        histogram.split_bucket(split_index - 1)
+    return True

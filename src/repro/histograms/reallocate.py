@@ -1,0 +1,139 @@
+"""Bucket reallocation strategies: wholesale and piecemeal (paper Figure 3).
+
+When the focus region moves from ``[a, b]`` to ``[a', b']`` the bucket set
+must follow.  The two strategies trade interpolation error differently:
+
+* **WholesaleReallocate** re-partitions ``[a', b']`` from scratch (by the
+  active policy) and redistributes every old frequency into the new buckets
+  by interval-overlap proportion — every boundary can move, and every
+  reallocation applies the uniformity interpolation to all mass.
+* **PiecemealReallocate** preserves the existing bucket infrastructure:
+  buckets outside the new region are truncated (only the straddling bucket
+  is interpolated), newly exposed space is covered by empty buckets, and
+  the bucket budget is restored by splitting wide/heavy buckets or merging
+  small ones — so repeated reallocations do not repeatedly re-interpolate
+  stable mass.
+
+Both are pure functions: they take the old :class:`BucketArray` and return
+a new one plus the *spilled* mass that fell outside ``[a', b']``.  Callers
+decide what to do with spill — the extrema estimators discard it
+(monotonicity: it can never qualify again), the AVG estimators pour it into
+their tail buckets.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
+from repro.histograms.partition import quantile_boundaries_from_histogram, uniform_boundaries
+
+POLICIES = ("uniform", "quantile")
+
+
+def _check_args(new_low: float, new_high: float, num_buckets: int, policy: str) -> None:
+    if not new_high > new_low:
+        raise ConfigurationError(f"need new_high > new_low, got [{new_low}, {new_high}]")
+    if num_buckets <= 0:
+        raise ConfigurationError(f"num_buckets must be positive, got {num_buckets}")
+    if policy not in POLICIES:
+        raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+
+
+def wholesale_reallocate(
+    old: BucketArray,
+    new_low: float,
+    new_high: float,
+    num_buckets: int,
+    policy: str = "uniform",
+    edges: list[float] | None = None,
+) -> tuple[BucketArray, Mass, Mass]:
+    """Re-partition ``[new_low, new_high]`` and redistribute all old mass.
+
+    ``edges`` overrides the policy-derived partitioning (the AVG estimator
+    passes normal-distribution quantile edges); it must span exactly
+    ``[new_low, new_high]`` with ``num_buckets`` buckets.
+
+    Returns ``(new_histogram, spill_low, spill_high)`` where the spills are
+    the old mass below/above the new range (estimated by interpolation).
+    """
+    _check_args(new_low, new_high, num_buckets, policy)
+    if edges is None:
+        if policy == "uniform":
+            edges = uniform_boundaries(new_low, new_high, num_buckets)
+        else:
+            edges = quantile_boundaries_from_histogram(old, num_buckets, new_low, new_high)
+    elif len(edges) != num_buckets + 1 or edges[0] != new_low or edges[-1] != new_high:
+        raise ConfigurationError(
+            f"explicit edges must span [{new_low}, {new_high}] with {num_buckets} buckets"
+        )
+
+    new = BucketArray(edges)
+    for k in range(num_buckets):
+        mass = old.estimate_between(edges[k], edges[k + 1])
+        new.add_mass(k, mass)
+
+    spill_low = old.estimate_between(old.low, new_low) if new_low > old.low else ZERO_MASS
+    spill_high = old.estimate_between(new_high, old.high) if new_high < old.high else ZERO_MASS
+    return new, spill_low, spill_high
+
+
+def piecemeal_reallocate(
+    old: BucketArray,
+    new_low: float,
+    new_high: float,
+    num_buckets: int,
+    policy: str = "uniform",
+) -> tuple[BucketArray, Mass, Mass]:
+    """Truncate/extend the existing buckets, then restore the bucket budget.
+
+    Only the bucket straddling a moved boundary is interpolated; interior
+    buckets keep their exact masses.  The bucket budget is restored by
+    splitting (uniform policy: widest bucket; quantile policy: heaviest
+    bucket) or merging (uniform: narrowest adjacent pair; quantile:
+    lightest adjacent pair).
+
+    Returns ``(new_histogram, spill_low, spill_high)``.
+    """
+    _check_args(new_low, new_high, num_buckets, policy)
+    if new_high <= old.low or new_low >= old.high:
+        raise ConfigurationError(
+            "piecemeal reallocation requires overlapping ranges; "
+            "a disjoint shift is the paper's condition_1 (reinitialise instead)"
+        )
+
+    new = old.copy()
+    spill_high = new.truncate_above(new_high) if new_high < new.high else ZERO_MASS
+    spill_low = new.truncate_below(new_low) if new_low > new.low else ZERO_MASS
+    if new_low < new.low:
+        new.extend_low(new_low)
+    if new_high > new.high:
+        new.extend_high(new_high)
+
+    while new.num_buckets > num_buckets:
+        new.merge_buckets(_best_merge_index(new, policy))
+    while new.num_buckets < num_buckets:
+        if policy == "uniform":
+            new.split_bucket(new.widest_bucket())
+        else:
+            index = new.heaviest_bucket()
+            if new.counts[index] <= 0.0:
+                index = new.widest_bucket()
+            new.split_bucket(index)
+    return new, spill_low, spill_high
+
+
+def _best_merge_index(histogram: BucketArray, policy: str) -> int:
+    """Adjacent pair minimising combined width (uniform) or count (quantile)."""
+    edges = histogram.edges
+    counts = histogram.counts
+    best_index = 0
+    best_score = float("inf")
+    for i in range(histogram.num_buckets - 1):
+        if policy == "uniform":
+            score = edges[i + 2] - edges[i]
+        else:
+            score = counts[i] + counts[i + 1]
+        if score < best_score:
+            best_score = score
+            best_index = i
+    return best_index

@@ -1,0 +1,143 @@
+"""A *feasible* single-pass approximate equidepth histogram.
+
+The paper's "true" equidepth baseline needs multiple passes per step; its
+footnote 5 notes that single-pass approximate quantile algorithms could
+stand in but "would likely give less accurate results than an exact
+equidepth histogram".  This module makes that baseline concrete: bucket
+boundaries come from a Greenwald–Khanna summary (ε-approximate ranks in
+sublinear space), and per-bucket COUNT/SUM(y) masses are maintained
+incrementally against a lazily refreshed boundary snapshot.
+
+Registered with the engine as method ``streaming-equidepth``, it completes
+the baseline spectrum:
+
+    equiwidth  <  streaming-equidepth  <  "true" equidepth   (accuracy)
+    equiwidth  >  streaming-equidepth  >  "true" equidepth   (feasibility)
+
+Landmark scopes only: GK summaries do not support deletion, which is
+exactly the paper's point about sliding windows.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.histograms.bucket import BucketArray, Mass
+from repro.structures.gk_quantiles import GKQuantileSummary
+
+
+class StreamingEquidepthHistogram:
+    """Single-pass approximate equidepth buckets over an insert-only stream.
+
+    Parameters
+    ----------
+    num_buckets:
+        Bucket budget ``m``.
+    eps:
+        GK rank-error bound (fraction of the stream length).
+    refresh_period:
+        Re-derive the bucket boundaries from the GK summary every this
+        many inserts; between refreshes, new values are binned against the
+        current snapshot (wholesale redistribution on refresh, using the
+        same interpolation as the focused histograms).
+    """
+
+    def __init__(
+        self, num_buckets: int, eps: float = 0.01, refresh_period: int = 256
+    ) -> None:
+        if num_buckets <= 0:
+            raise ConfigurationError(f"num_buckets must be positive, got {num_buckets}")
+        if refresh_period <= 0:
+            raise ConfigurationError(
+                f"refresh_period must be positive, got {refresh_period}"
+            )
+        self._m = num_buckets
+        self._summary = GKQuantileSummary(eps=eps)
+        self._refresh_period = refresh_period
+        self._since_refresh = 0
+        self._buckets: BucketArray | None = None
+        self._pending: list[tuple[float, float]] = []  # before first refresh
+
+    @property
+    def num_buckets(self) -> int:
+        return self._m
+
+    def __len__(self) -> int:
+        return self._summary.count
+
+    def add(self, x: float, y: float = 1.0) -> None:
+        """Insert one tuple (single pass, no deletions)."""
+        self._summary.insert(x)
+        if self._buckets is None:
+            self._pending.append((x, y))
+            if len(self._pending) >= max(self._m * 2, 8):
+                self._refresh()
+            return
+        # Clamp into the snapshot's range; boundary drift is corrected at
+        # the next refresh.
+        self._buckets.add(min(max(x, self._buckets.low), self._buckets.high), y)
+        self._since_refresh += 1
+        if self._since_refresh >= self._refresh_period:
+            self._refresh()
+
+    def remove(self, x: float, y: float = 1.0) -> None:
+        """Unsupported: GK summaries are insert-only (landmark scopes)."""
+        raise StreamError(
+            "streaming equidepth cannot delete; use the offline EquidepthHistogram "
+            "for sliding windows"
+        )
+
+    def _edges(self) -> list[float]:
+        edges = self._summary.boundaries(self._m)
+        # Force strict monotonicity (heavy ties collapse GK quantiles).
+        repaired = [edges[0]]
+        for edge in edges[1:]:
+            if edge <= repaired[-1]:
+                bump = max(abs(repaired[-1]), 1.0) * 1e-12
+                edge = repaired[-1] + bump
+            repaired.append(edge)
+        return repaired
+
+    def _refresh(self) -> None:
+        self._since_refresh = 0
+        edges = self._edges()
+        new = BucketArray(edges)
+        if self._buckets is None:
+            for x, y in self._pending:
+                new.add(min(max(x, new.low), new.high), y)
+            self._pending = []
+        else:
+            for k in range(new.num_buckets):
+                # estimate_between clips to the old range and returns zero
+                # mass for non-overlapping spans.
+                new.add_mass(k, self._buckets.estimate_between(edges[k], edges[k + 1]))
+            # Mass outside the new range (possible when the summary's view
+            # of the extremes lags): clamp into the boundary buckets so
+            # totals are conserved.
+            if self._buckets.low < edges[0]:
+                new.add_mass(0, self._buckets.estimate_between(self._buckets.low, edges[0]))
+            if self._buckets.high > edges[-1]:
+                new.add_mass(
+                    new.num_buckets - 1,
+                    self._buckets.estimate_between(edges[-1], self._buckets.high),
+                )
+        self._buckets = new
+
+    def total(self) -> Mass:
+        """Total inserted (count, weight) mass."""
+        if self._buckets is None:
+            return Mass(float(len(self._pending)), sum(y for _, y in self._pending))
+        return self._buckets.total()
+
+    def estimate_leq(self, threshold: float) -> Mass:
+        """Interpolated (count, weight) with ``x <= threshold``."""
+        if self._buckets is None:
+            count = sum(1.0 for x, _ in self._pending if x <= threshold)
+            weight = sum(y for x, y in self._pending if x <= threshold)
+            return Mass(count, weight)
+        return self._buckets.estimate_leq(threshold).clamped()
+
+    def estimate_geq(self, threshold: float) -> Mass:
+        """Interpolated (count, weight) with ``x >= threshold``."""
+        total = self.total()
+        below = self.estimate_leq(threshold)
+        return Mass(total.count - below.count, total.weight - below.weight).clamped()

@@ -1,0 +1,85 @@
+"""Records, the stream-algorithm protocol, and stream runners.
+
+The paper's model of computation (Section 2.1, after Henzinger et al.)
+proceeds in steps: read ``S_in[i]``, compute in memory, write ``S_out[i]``.
+A :class:`StreamAlgorithm` is exactly that contract: :meth:`~StreamAlgorithm.
+update` consumes the next input record and returns the next output value.
+
+Records carry two numeric attributes ``x`` and ``y`` matching the paper's
+schema R(X, Y): the *independent* aggregate ranges over ``x`` and the
+*dependent* aggregate over ``y``.  Plain ``(x, y)`` tuples are accepted
+anywhere a :class:`Record` is; the estimators only unpack two fields.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from typing import NamedTuple, Protocol, runtime_checkable
+
+from repro.exceptions import StreamError
+
+
+class Record(NamedTuple):
+    """One stream tuple of the schema R(X, Y)."""
+
+    x: float
+    y: float = 1.0
+
+
+def ensure_finite(record: Record) -> Record:
+    """Reject NaN/infinite attributes before they poison a summary.
+
+    A single NaN silently corrupts every running aggregate it touches
+    (means, histogram totals, extrema comparisons), so estimators validate
+    at ingestion and fail loudly instead.
+    """
+    if not (math.isfinite(record.x) and math.isfinite(record.y)):
+        raise StreamError(f"non-finite record {record!r}")
+    return record
+
+
+@runtime_checkable
+class StreamAlgorithm(Protocol):
+    """One read–compute–emit step of the stream computation model.
+
+    Implementations consume one input record per call and return the current
+    value of their output sequence.  They must use bounded state (up to the
+    logarithmic-growth caveat the paper notes).
+    """
+
+    def update(self, record: Record) -> float:
+        """Consume ``S_in[i]`` and return ``S_out[i]``."""
+        ...
+
+
+def run_stream(algorithm: StreamAlgorithm, stream: Iterable[Record]) -> Iterator[float]:
+    """Lazily drive ``algorithm`` over ``stream``, yielding each output.
+
+    This is the model's outer loop: one output value per input record.
+    """
+    for item in stream:
+        record = item if isinstance(item, Record) else Record(*item)
+        yield algorithm.update(record)
+
+
+def materialize(algorithm: StreamAlgorithm, stream: Iterable[Record]) -> list[float]:
+    """Run ``algorithm`` over ``stream`` and collect the full output sequence."""
+    return list(run_stream(algorithm, stream))
+
+
+def as_records(values: Iterable[float | tuple[float, ...] | Record]) -> list[Record]:
+    """Coerce a mixed iterable into :class:`Record` objects.
+
+    Bare floats become ``Record(x=v, y=1.0)``, so COUNT-style dependent
+    aggregates work without callers having to invent a y attribute.
+    """
+    records = []
+    for item in values:
+        if isinstance(item, Record):
+            records.append(item)
+        elif isinstance(item, tuple):
+            records.append(Record(*item))
+        else:
+            records.append(Record(float(item)))
+    return records

@@ -1,0 +1,42 @@
+"""Core data structures shared by the streaming estimators and the oracles.
+
+These are the substrate the paper's algorithms stand on:
+
+* :class:`~repro.structures.fenwick.FenwickTree` and
+  :class:`~repro.structures.fenwick.OrderStatisticsIndex` — exact
+  order-statistics with insert/delete, used by the exact-answer oracles.
+* :class:`~repro.structures.ring_buffer.RingBuffer` — fixed-capacity FIFO
+  used by the sliding-window estimators.
+* :class:`~repro.structures.monotonic_deque.MonotonicDeque` — exact sliding
+  window extrema in amortised O(1), the baseline for the paper's
+  interval-based approximate extrema tracker.
+* :class:`~repro.structures.intervals.IntervalExtremaTracker` — the paper's
+  Section 4.1.1 strategy: partition the sliding window into fixed-length
+  intervals, keep a local extremum per interval.
+* :class:`~repro.structures.welford.RunningMoments` — numerically stable
+  running mean/variance (Welford), the basis of the CLT focus interval.
+* :class:`~repro.structures.p2_quantile.P2Quantile` — constant-space
+  streaming quantile estimate, used by quantile partitioning policies when
+  re-seeding bucket boundaries.
+"""
+
+from repro.structures.fenwick import FenwickTree, OrderStatisticsIndex
+from repro.structures.gk_quantiles import GKQuantileSummary
+from repro.structures.intervals import IntervalExtremaTracker
+from repro.structures.monotonic_deque import MonotonicDeque
+from repro.structures.p2_quantile import P2Quantile
+from repro.structures.ring_buffer import RingBuffer
+from repro.structures.time_intervals import TimeIntervalExtremaTracker
+from repro.structures.welford import RunningMoments
+
+__all__ = [
+    "FenwickTree",
+    "GKQuantileSummary",
+    "OrderStatisticsIndex",
+    "IntervalExtremaTracker",
+    "MonotonicDeque",
+    "P2Quantile",
+    "RingBuffer",
+    "TimeIntervalExtremaTracker",
+    "RunningMoments",
+]

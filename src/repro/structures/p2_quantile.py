@@ -1,0 +1,116 @@
+"""The P-squared (P²) streaming quantile estimator (Jain & Chlamtac, 1985).
+
+Quantile partitioning policies need streaming estimates of where the
+quantiles of the *in-focus* values lie when reseeding bucket boundaries
+after a wholesale reallocation.  P² maintains a single quantile with five
+markers and O(1) work per observation — a natural constant-space companion
+to the paper's constant-space histograms.
+
+The first five observations are stored exactly; afterwards marker heights
+are nudged with piecewise-parabolic (hence "P²") interpolation.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError, EmptyScopeError
+
+
+class P2Quantile:
+    """Streaming estimate of the ``p``-quantile of a value stream.
+
+    >>> q = P2Quantile(0.5)
+    >>> for v in range(1, 100):
+    ...     q.push(float(v))
+    >>> abs(q.value() - 50.0) < 2.0
+    True
+    """
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError(f"quantile p must be in (0, 1), got {p}")
+        self._p = p
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self._count = 0
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def _initialise(self) -> None:
+        self._initial.sort()
+        self._heights = list(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        p = self._p
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def push(self, value: float) -> None:
+        """Observe the next stream value."""
+        self._count += 1
+        if self._count <= 5:
+            self._initial.append(value)
+            if self._count == 5:
+                self._initialise()
+            return
+
+        heights = self._heights
+        positions = self._positions
+
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in range(1, 4):
+            delta = self._desired[i] - positions[i]
+            step_right = positions[i + 1] - positions[i]
+            step_left = positions[i - 1] - positions[i]
+            if (delta >= 1.0 and step_right > 1.0) or (delta <= -1.0 and step_left < -1.0):
+                direction = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: float) -> float:
+        h, q = self._positions, self._heights
+        denom = h[i + 1] - h[i - 1]
+        term_right = (h[i] - h[i - 1] + direction) * (q[i + 1] - q[i]) / (h[i + 1] - h[i])
+        term_left = (h[i + 1] - h[i] - direction) * (q[i] - q[i - 1]) / (h[i] - h[i - 1])
+        return q[i] + direction / denom * (term_right + term_left)
+
+    def _linear(self, i: int, direction: float) -> float:
+        h, q = self._positions, self._heights
+        j = i + int(direction)
+        return q[i] + direction * (q[j] - q[i]) / (h[j] - h[i])
+
+    def value(self) -> float:
+        """Current estimate of the ``p``-quantile."""
+        if self._count == 0:
+            raise EmptyScopeError("quantile of an empty stream")
+        if self._count <= 5:
+            ordered = sorted(self._initial)
+            index = min(int(self._p * self._count), self._count - 1)
+            return ordered[index]
+        return self._heights[2]

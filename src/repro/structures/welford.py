@@ -1,0 +1,128 @@
+"""Numerically stable running moments (Welford's algorithm).
+
+The AVG-independent algorithms centre their histogram focus region on the
+running mean and size it by the standard error ``sigma_hat / sqrt(n)``
+(Section 2.2's Central Limit Theorem argument).  Welford's recurrence gives
+mean and variance in one pass without catastrophic cancellation, and also
+supports *removal* of a value, which the sliding-window AVG estimator needs
+when a tuple expires.
+
+Removal uses the reverse Welford recurrence; it is exact in real arithmetic
+and stable in floating point as long as removals are of previously inserted
+values (which is how the sliding window uses it).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import EmptyScopeError, StreamError
+
+
+class RunningMoments:
+    """Running count, mean, variance and extrema of a value stream.
+
+    >>> m = RunningMoments()
+    >>> for v in [2.0, 4.0, 6.0]:
+    ...     m.push(v)
+    >>> m.mean, m.count
+    (4.0, 3)
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise EmptyScopeError("mean of an empty stream")
+        return self._mean
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise EmptyScopeError("minimum of an empty stream")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise EmptyScopeError("maximum of an empty stream")
+        return self._max
+
+    @property
+    def variance(self) -> float:
+        """Population variance (the paper's ``sigma_hat^2`` divides by n)."""
+        if self._count == 0:
+            raise EmptyScopeError("variance of an empty stream")
+        return max(self._m2 / self._count, 0.0)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation ``sigma_hat``."""
+        return math.sqrt(self.variance)
+
+    @property
+    def standard_error(self) -> float:
+        """``sigma_hat / sqrt(n)`` — the CLT confidence scale for the mean."""
+        if self._count == 0:
+            raise EmptyScopeError("standard error of an empty stream")
+        return self.std / math.sqrt(self._count)
+
+    def push(self, value: float) -> None:
+        """Incorporate ``value``."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def remove(self, value: float) -> None:
+        """Remove one previously pushed ``value`` (mean/variance only).
+
+        Extrema are *not* revised on removal — doing so exactly would require
+        the full multiset.  Sliding-window callers track extrema separately
+        (:class:`~repro.structures.intervals.IntervalExtremaTracker`).
+        """
+        if self._count == 0:
+            raise StreamError("remove from an empty RunningMoments")
+        if self._count == 1:
+            self._count = 0
+            self._mean = 0.0
+            self._m2 = 0.0
+            return
+        old_mean = (self._count * self._mean - value) / (self._count - 1)
+        self._m2 -= (value - old_mean) * (value - self._mean)
+        self._m2 = max(self._m2, 0.0)
+        self._mean = old_mean
+        self._count -= 1
+
+    def merge(self, other: "RunningMoments") -> None:
+        """Fold another RunningMoments into this one (parallel Welford)."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._mean += delta * other._count / total
+        self._count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)

@@ -1,0 +1,118 @@
+"""Tests for interval bound reporting (the paper's Section 3.1 remark)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_series
+from repro.core.landmark_avg import LandmarkAvgEstimator, band_bounds
+from repro.core.query import CorrelatedQuery
+from repro.core.sliding_avg import SlidingAvgEstimator
+from repro.exceptions import ConfigurationError
+from repro.histograms.bucket import BucketArray, Mass
+from tests.conftest import make_records
+
+AVG_Q = CorrelatedQuery("count", "avg")
+SW_Q = CorrelatedQuery("count", "avg", window=50)
+
+
+class TestBandBounds:
+    def test_fully_covered_bucket_in_both_bounds(self):
+        inner = BucketArray([0.0, 1.0, 2.0], counts=[3.0, 5.0], weights=[3.0, 5.0])
+        lower, upper = band_bounds(
+            inner, Mass(0, 0), Mass(0, 0), 0.0, 2.0, 0.0, 2.0
+        )
+        assert lower.count == 8.0 and upper.count == 8.0
+
+    def test_straddling_bucket_only_in_upper(self):
+        inner = BucketArray([0.0, 1.0, 2.0], counts=[3.0, 5.0], weights=[3.0, 5.0])
+        lower, upper = band_bounds(
+            inner, Mass(0, 0), Mass(0, 0), 0.0, 2.0, 0.5, 2.0
+        )
+        assert lower.count == 5.0  # only the fully-inside bucket
+        assert upper.count == 8.0  # plus the straddler
+
+    def test_partially_covered_tail_only_in_upper(self):
+        inner = BucketArray([10.0, 20.0], counts=[0.0], weights=[0.0])
+        left = Mass(6.0, 6.0)
+        lower, upper = band_bounds(inner, left, Mass(0, 0), 0.0, 40.0, 5.0, 20.0)
+        assert lower.count == 0.0
+        assert upper.count == 6.0
+
+    def test_fully_covered_tail_in_both(self):
+        inner = BucketArray([10.0, 20.0], counts=[0.0], weights=[0.0])
+        right = Mass(4.0, 4.0)
+        lower, upper = band_bounds(inner, Mass(0, 0), right, 0.0, 40.0, 15.0, 50.0)
+        assert lower.count == 4.0 and upper.count == 4.0
+
+    def test_bounds_bracket_interpolation(self):
+        from repro.core.landmark_avg import band_mass
+
+        inner = BucketArray([0.0, 1.0, 2.0, 3.0], counts=[2.0, 4.0, 6.0], weights=[1.0] * 3)
+        args = (inner, Mass(3, 3), Mass(5, 5), -2.0, 5.0, 0.7, 2.4)
+        lower, upper = band_bounds(*args)
+        mid = band_mass(*args)
+        assert lower.count <= mid.count <= upper.count
+
+
+class TestEstimatorBounds:
+    def test_bounds_bracket_estimate_landmark(self, rng):
+        est = LandmarkAvgEstimator(AVG_Q, num_buckets=10)
+        for r in make_records(rng.lognormal(2.0, 1.0, size=1500)):
+            est.update(r)
+            lower, upper = est.estimate_bounds()
+            assert lower - 1e-9 <= est.estimate() <= upper + 1e-9
+
+    def test_bounds_bracket_exact_landmark(self, rng):
+        # The bounds bracket the *summary's* mass exactly; they contain the
+        # exact answer whenever the summary's own content drift (tail
+        # exchanges under the uniformity assumption) is smaller than the
+        # straddling-bucket slack — most steps, not all.
+        xs = rng.lognormal(2.0, 1.0, size=1500)
+        records = make_records(xs)
+        est = LandmarkAvgEstimator(AVG_Q, num_buckets=10)
+        exact = exact_series(records, AVG_Q)
+        hits = 0
+        for r, truth in zip(records, exact):
+            est.update(r)
+            lower, upper = est.estimate_bounds()
+            hits += lower - 1e-6 <= truth <= upper + 1e-6
+        assert hits / len(records) > 0.8
+
+    def test_bounds_bracket_estimate_sliding(self, rng):
+        est = SlidingAvgEstimator(SW_Q, num_buckets=8)
+        for r in make_records(rng.uniform(1.0, 100.0, size=600)):
+            est.update(r)
+            lower, upper = est.estimate_bounds()
+            assert lower - 1e-9 <= est.estimate() <= upper + 1e-9
+
+    def test_warmup_bounds_are_tight(self):
+        est = LandmarkAvgEstimator(AVG_Q, num_buckets=10)
+        est.update(make_records([5.0])[0])
+        lower, upper = est.estimate_bounds()
+        assert lower == upper == est.estimate()
+
+    def test_avg_dependent_rejected(self):
+        est = LandmarkAvgEstimator(CorrelatedQuery("avg", "avg"), num_buckets=10)
+        est.update(make_records([5.0])[0])
+        with pytest.raises(ConfigurationError):
+            est.estimate_bounds()
+        sliding = SlidingAvgEstimator(
+            CorrelatedQuery("avg", "avg", window=50), num_buckets=8
+        )
+        sliding.update(make_records([5.0])[0])
+        with pytest.raises(ConfigurationError):
+            sliding.estimate_bounds()
+
+    @given(xs=st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_property(self, xs):
+        est = LandmarkAvgEstimator(AVG_Q, num_buckets=5)
+        for r in make_records(xs):
+            est.update(r)
+            lower, upper = est.estimate_bounds()
+            assert 0.0 <= lower <= upper + 1e-9
+            assert np.isfinite(upper)

@@ -1,0 +1,77 @@
+"""Tests for the exact-answer oracle — validated against brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import ExactOracle, exact_series
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError
+from tests.conftest import brute_force_series, make_records
+
+
+class TestExactSeries:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_series([], CorrelatedQuery("count", "avg"))
+
+    def test_landmark_min_count_small_example(self):
+        records = make_records([10.0, 5.0, 6.0, 20.0, 4.0])
+        q = CorrelatedQuery("count", "min", epsilon=0.5)
+        # thresholds: 15, 7.5, 7.5, 7.5, 6 -> qualifying counts 1,1,2,2,3
+        assert exact_series(records, q) == [1.0, 1.0, 2.0, 2.0, 3.0]
+
+    def test_landmark_avg_count_small_example(self):
+        records = make_records([1.0, 3.0, 5.0])
+        q = CorrelatedQuery("count", "avg")
+        # means: 1, 2, 3 -> counts above: 0, 1, 1
+        assert exact_series(records, q) == [0.0, 1.0, 1.0]
+
+    def test_sum_dependent_uses_y(self):
+        records = make_records([1.0, 3.0], ys=[10.0, 20.0])
+        q = CorrelatedQuery("sum", "avg")
+        # mean after 2: 2.0, only x=3 qualifies -> sum y = 20
+        assert exact_series(records, q)[-1] == 20.0
+
+    def test_sliding_window_forgets(self):
+        records = make_records([1.0, 100.0, 100.0, 100.0])
+        q = CorrelatedQuery("count", "min", epsilon=0.1, window=2)
+        series = exact_series(records, q)
+        # Window at step 4 is {100, 100}: min=100, threshold=110 -> count 2.
+        assert series[-1] == 2.0
+
+    @given(
+        xs=st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=50),
+        independent=st.sampled_from(["min", "max", "avg"]),
+        dependent=st.sampled_from(["count", "sum"]),
+        window=st.sampled_from([None, 3, 7]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, xs, independent, dependent, window):
+        ys = [x * 0.5 + 1.0 for x in xs]
+        records = make_records(xs, ys)
+        q = CorrelatedQuery(dependent, independent, epsilon=0.5, window=window)
+        fast = exact_series(records, q)
+        slow = brute_force_series(records, q)
+        assert fast == pytest.approx(slow, rel=1e-9, abs=1e-6)
+
+
+class TestExactOracle:
+    def test_estimate_before_updates(self):
+        oracle = ExactOracle(CorrelatedQuery("count", "avg"), [1.0])
+        assert oracle.estimate() == 0.0
+
+    def test_query_accessor(self):
+        q = CorrelatedQuery("count", "avg")
+        assert ExactOracle(q, [1.0]).query is q
+
+    def test_incremental_equals_batch(self, rng):
+        xs = rng.uniform(1, 100, size=200)
+        records = make_records(xs)
+        q = CorrelatedQuery("count", "max", epsilon=3.0, window=20)
+        oracle = ExactOracle(q, xs)
+        stepwise = [oracle.update(r) for r in records]
+        assert stepwise == exact_series(records, q)

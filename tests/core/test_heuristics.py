@@ -1,0 +1,95 @@
+"""Tests for the memoryless heuristics and their bounding guarantees."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_series
+from repro.core.heuristics import AverageHeuristic, ExtremaHeuristic
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError
+from tests.conftest import make_records
+
+
+class TestExtremaHeuristic:
+    def test_requires_extrema_query(self):
+        with pytest.raises(ConfigurationError):
+            ExtremaHeuristic(CorrelatedQuery("count", "avg"))
+
+    def test_rejects_sliding(self):
+        with pytest.raises(ConfigurationError):
+            ExtremaHeuristic(CorrelatedQuery("count", "min", epsilon=1.0, window=10))
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            ExtremaHeuristic(CorrelatedQuery("count", "min", epsilon=1.0), variant="maybe")
+
+    def test_reset_zeroes_on_new_minimum(self):
+        q = CorrelatedQuery("count", "min", epsilon=1.0)
+        h = ExtremaHeuristic(q, variant="reset")
+        outputs = [h.update(r) for r in make_records([10.0, 12.0, 5.0])]
+        # 5 resets the counter; 5 itself qualifies.
+        assert outputs == [1.0, 2.0, 1.0]
+
+    def test_continue_keeps_counting(self):
+        q = CorrelatedQuery("count", "min", epsilon=1.0)
+        h = ExtremaHeuristic(q, variant="continue")
+        outputs = [h.update(r) for r in make_records([10.0, 12.0, 5.0])]
+        assert outputs == [1.0, 2.0, 3.0]
+
+    def test_max_mode(self):
+        q = CorrelatedQuery("count", "max", epsilon=1.0)
+        h = ExtremaHeuristic(q, variant="reset")
+        # thresholds: max/2. Values 4, 10 (reset), 6 (qualifies: 6 >= 5).
+        outputs = [h.update(r) for r in make_records([4.0, 10.0, 6.0])]
+        assert outputs == [1.0, 1.0, 2.0]
+
+    @given(xs=st.lists(st.floats(0.1, 100.0), min_size=1, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_variants_bracket_exact_count(self, xs):
+        q = CorrelatedQuery("count", "min", epsilon=0.5)
+        records = make_records(xs)
+        exact = exact_series(records, q)
+        lower = ExtremaHeuristic(q, variant="reset")
+        upper = ExtremaHeuristic(q, variant="continue")
+        lower_out = [lower.update(r) for r in records]
+        upper_out = [upper.update(r) for r in records]
+        for lo, ex, hi in zip(lower_out, exact, upper_out):
+            assert lo <= ex + 1e-9
+            assert hi >= ex - 1e-9
+
+
+class TestAverageHeuristic:
+    def test_requires_avg_query(self):
+        with pytest.raises(ConfigurationError):
+            AverageHeuristic(CorrelatedQuery("count", "min", epsilon=1.0))
+
+    def test_rejects_sliding(self):
+        with pytest.raises(ConfigurationError):
+            AverageHeuristic(CorrelatedQuery("count", "avg", window=5))
+
+    def test_counts_arrivals_above_running_mean(self):
+        q = CorrelatedQuery("count", "avg")
+        h = AverageHeuristic(q)
+        # means: 2, 3, 4 at arrival; qualifying arrivals: none, 4>2.5? means
+        # computed after push: 2 -> 2>2 no; (2+4)/2=3 -> 4>3 yes; (2+4+6)/3=4 -> 6>4 yes.
+        outputs = [h.update(r) for r in make_records([2.0, 4.0, 6.0])]
+        assert outputs == [0.0, 1.0, 2.0]
+
+    def test_sum_dependent(self):
+        q = CorrelatedQuery("sum", "avg")
+        h = AverageHeuristic(q)
+        records = make_records([2.0, 4.0], ys=[5.0, 7.0])
+        assert [h.update(r) for r in records] == [0.0, 7.0]
+
+    def test_accurate_when_mean_stable(self, rng):
+        xs = rng.normal(loc=50.0, scale=5.0, size=2000)
+        records = make_records(xs)
+        q = CorrelatedQuery("count", "avg")
+        h = AverageHeuristic(q)
+        outputs = [h.update(r) for r in records]
+        exact = exact_series(records, q)
+        # Converged mean: the heuristic's relative error is small.
+        assert abs(outputs[-1] - exact[-1]) / exact[-1] < 0.05

@@ -1,0 +1,111 @@
+"""Tests for the per-key estimator bank."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import exact_series
+from repro.core.keyed import ONLINE_METHODS, KeyedEstimatorBank
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams.model import Record
+from tests.conftest import make_records
+
+QUERY = CorrelatedQuery("count", "min", epsilon=9.0)
+
+
+class TestValidation:
+    def test_offline_methods_rejected(self):
+        for method in ("equidepth", "exact"):
+            with pytest.raises(ConfigurationError):
+                KeyedEstimatorBank(QUERY, method=method)
+
+    def test_equiwidth_needs_domain(self):
+        with pytest.raises(ConfigurationError):
+            KeyedEstimatorBank(QUERY, method="equiwidth")
+        bank = KeyedEstimatorBank(QUERY, method="equiwidth", domain=(0.0, 100.0))
+        bank.update("a", Record(5.0))
+        assert "a" in bank
+
+    def test_max_keys_positive(self):
+        with pytest.raises(ConfigurationError):
+            KeyedEstimatorBank(QUERY, max_keys=0)
+
+    def test_online_methods_all_buildable(self):
+        for method in ONLINE_METHODS:
+            query = QUERY if "running" not in method else CorrelatedQuery("count", "avg")
+            bank = KeyedEstimatorBank(query, method=method)
+            bank.update("k", Record(5.0))
+
+
+class TestRouting:
+    def test_keys_are_independent(self, rng):
+        bank = KeyedEstimatorBank(QUERY)
+        a_records = make_records(rng.uniform(1.0, 10.0, size=200))
+        b_records = make_records(rng.uniform(100.0, 1000.0, size=200))
+        for ra, rb in zip(a_records, b_records):
+            bank.update("a", ra)
+            bank.update("b", rb)
+        exact_a = exact_series(a_records, QUERY)[-1]
+        exact_b = exact_series(b_records, QUERY)[-1]
+        assert bank.estimate("a") == pytest.approx(exact_a, rel=0.1)
+        assert bank.estimate("b") == pytest.approx(exact_b, rel=0.1)
+
+    def test_lazy_creation_and_len(self):
+        bank = KeyedEstimatorBank(QUERY)
+        assert len(bank) == 0
+        bank.update("x", Record(1.0))
+        bank.update("y", Record(2.0))
+        bank.update("x", Record(3.0))
+        assert len(bank) == 2
+        assert list(bank.keys()) == ["x", "y"]
+
+    def test_unknown_key_estimate_raises(self):
+        bank = KeyedEstimatorBank(QUERY)
+        with pytest.raises(StreamError):
+            bank.estimate("nope")
+
+    def test_estimates_snapshot(self):
+        bank = KeyedEstimatorBank(QUERY)
+        bank.update("x", Record(1.0))
+        bank.update("y", Record(2.0))
+        snapshot = bank.estimates()
+        assert set(snapshot) == {"x", "y"}
+        assert all(v >= 0.0 for v in snapshot.values())
+
+
+class TestCapacityManagement:
+    def test_max_keys_enforced(self):
+        bank = KeyedEstimatorBank(QUERY, max_keys=2)
+        bank.update("a", Record(1.0))
+        bank.update("b", Record(1.0))
+        with pytest.raises(StreamError):
+            bank.update("c", Record(1.0))
+        bank.update("a", Record(2.0))  # existing keys keep working
+
+    def test_evict_frees_capacity(self):
+        bank = KeyedEstimatorBank(QUERY, max_keys=1)
+        bank.update("a", Record(1.0))
+        assert bank.evict("a")
+        assert not bank.evict("a")  # already gone
+        bank.update("b", Record(1.0))
+        assert "b" in bank and "a" not in bank
+
+
+class TestTop:
+    def test_top_ranks_by_estimate(self, rng):
+        query = CorrelatedQuery("count", "avg")
+        bank = KeyedEstimatorBank(query, method="heuristic-running")
+        # Key "hot" gets many above-average values, "cold" few.
+        for i in range(300):
+            bank.update("hot", Record(float(i % 7 + 1)))
+        for i in range(30):
+            bank.update("cold", Record(float(i % 7 + 1)))
+        ranked = bank.top(2)
+        assert ranked[0][0] == "hot"
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_top_n_validation(self):
+        bank = KeyedEstimatorBank(QUERY)
+        with pytest.raises(ConfigurationError):
+            bank.top(0)

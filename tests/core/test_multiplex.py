@@ -1,0 +1,115 @@
+"""Tests for the multi-query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import exact_series
+from repro.core.multiplex import QueryEngine
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from tests.conftest import make_records
+
+MIN_Q = CorrelatedQuery("count", "min", epsilon=9.0)
+AVG_Q = CorrelatedQuery("count", "avg")
+
+
+class TestRegistry:
+    def test_register_and_len(self):
+        engine = QueryEngine()
+        engine.register("a", MIN_Q)
+        engine.register("b", AVG_Q)
+        assert len(engine) == 2
+        assert "a" in engine and "c" not in engine
+
+    def test_register_from_paper_notation(self):
+        engine = QueryEngine()
+        resolved = engine.register("q", "SUM{y: x > AVG(x)} OVER SLIDING(50)")
+        assert resolved.dependent == "sum" and resolved.window == 50
+
+    def test_duplicate_name_rejected(self):
+        engine = QueryEngine()
+        engine.register("a", MIN_Q)
+        with pytest.raises(ConfigurationError):
+            engine.register("a", AVG_Q)
+
+    def test_deregister(self):
+        engine = QueryEngine()
+        engine.register("a", MIN_Q)
+        assert engine.deregister("a")
+        assert not engine.deregister("a")
+        assert len(engine) == 0
+
+    def test_query_for(self):
+        engine = QueryEngine()
+        engine.register("a", MIN_Q)
+        assert engine.query_for("a") is MIN_Q
+        with pytest.raises(StreamError):
+            engine.query_for("zzz")
+
+
+class TestFanOut:
+    def test_single_pass_matches_individual_runs(self, rng):
+        records = make_records(rng.uniform(1.0, 100.0, size=400))
+        engine = QueryEngine()
+        engine.register("min", MIN_Q)
+        engine.register("avg", AVG_Q)
+        last: dict[str, float] = {}
+        for r in records:
+            last = engine.update(r)
+
+        from repro.core.engine import build_estimator
+
+        solo_min = build_estimator(MIN_Q, "piecemeal-uniform")
+        solo_avg = build_estimator(AVG_Q, "piecemeal-uniform")
+        for r in records:
+            expected_min = solo_min.update(r)
+            expected_avg = solo_avg.update(r)
+        assert last["min"] == expected_min
+        assert last["avg"] == expected_avg
+
+    def test_mid_stream_registration_starts_fresh_landmark(self, rng):
+        records = make_records(rng.uniform(1.0, 100.0, size=200))
+        engine = QueryEngine(method="heuristic-running")
+        for r in records[:100]:
+            engine.update(r)
+        engine.register("late", AVG_Q)
+        for r in records[100:]:
+            engine.update(r)
+        # The late query only saw the second half — its landmark is the
+        # registration point, exactly the paper's ad hoc scenario.
+        expected = exact_series(records[100:], AVG_Q)[-1]
+        assert engine.report()["late"] == pytest.approx(expected, abs=8.0)
+
+    def test_report_without_update(self):
+        engine = QueryEngine()
+        engine.register("a", MIN_Q)
+        engine.update(make_records([5.0])[0])
+        snapshot = engine.report()
+        assert snapshot == {"a": 1.0}
+        assert engine.position == 1
+
+
+class TestSubscriptions:
+    def test_periodic_callbacks(self, rng):
+        engine = QueryEngine()
+        engine.register("a", AVG_Q)
+        seen: list[int] = []
+        engine.subscribe(25, lambda position, report: seen.append(position))
+        for r in make_records(rng.uniform(1.0, 10.0, size=100)):
+            engine.update(r)
+        assert seen == [25, 50, 75, 100]
+
+    def test_callback_receives_report(self, rng):
+        engine = QueryEngine()
+        engine.register("a", AVG_Q)
+        payloads: list[dict] = []
+        engine.subscribe(10, lambda _, report: payloads.append(dict(report)))
+        for r in make_records(rng.uniform(1.0, 10.0, size=20)):
+            engine.update(r)
+        assert len(payloads) == 2
+        assert set(payloads[0]) == {"a"}
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            QueryEngine().subscribe(0, lambda *_: None)

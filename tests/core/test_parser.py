@@ -1,0 +1,108 @@
+"""Tests for the paper-notation query parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError
+
+
+class TestMinQueries:
+    def test_paper_figure4_query(self):
+        q = parse_query("COUNT{y: x <= (1+99)*MIN(x)}")
+        assert q == CorrelatedQuery("count", "min", epsilon=99.0)
+
+    def test_strict_operator_accepted(self):
+        q = parse_query("COUNT{y: x < (1+0.5)*MIN(x)}")
+        assert q.independent == "min" and q.epsilon == 0.5
+
+    def test_sum_dependent(self):
+        q = parse_query("SUM{y: x <= (1+1000)*MIN(x)}")
+        assert q.dependent == "sum" and q.epsilon == 1000.0
+
+    def test_whitespace_and_case_insensitive(self):
+        q = parse_query("count{ y :  x<=( 1 + 99 )*min( x ) }")
+        assert q == CorrelatedQuery("count", "min", epsilon=99.0)
+
+
+class TestMaxQueries:
+    def test_paper_example3_shape(self):
+        # "within 10% of the longest call": 1/(1+eps) = 0.9
+        q = parse_query("COUNT{y: x >= MAX(x)/(1+0.11112)}")
+        assert q.independent == "max"
+        assert q.epsilon == pytest.approx(0.11112)
+
+
+class TestAvgQueries:
+    def test_one_sided(self):
+        q = parse_query("COUNT{y: x > AVG(x)}")
+        assert q == CorrelatedQuery("count", "avg")
+
+    def test_two_sided_band(self):
+        q = parse_query("COUNT{y: |x - AVG(x)| < 2.5}")
+        assert q.two_sided and q.epsilon == 2.5
+
+    def test_avg_dependent(self):
+        q = parse_query("AVG{y: x > AVG(x)}")
+        assert q.dependent == "avg"
+
+
+class TestScopes:
+    def test_sliding_scope(self):
+        q = parse_query("COUNT{y: x > AVG(x)} OVER SLIDING(500)")
+        assert q.window == 500
+
+    def test_landmark_scope_explicit(self):
+        q = parse_query("COUNT{y: x <= (1+99)*MIN(x)} OVER LANDMARK")
+        assert q.window is None
+
+    def test_default_scope_is_landmark(self):
+        assert parse_query("COUNT{y: x > AVG(x)}").window is None
+
+    def test_scope_keyword_case_insensitive(self):
+        q = parse_query("sum{y: x > avg(x)} over sliding( 64 )")
+        assert q.window == 64 and q.dependent == "sum"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "COUNT{x: y > AVG(x)}",  # wrong attributes
+            "MEDIAN{y: x > AVG(x)}",  # unsupported dependent
+            "COUNT{y: x > STDDEV(x)}",  # unsupported independent
+            "COUNT{y: x <= 2*MIN(x)}",  # not the (1+eps) form
+            "COUNT{y: x > AVG(x)} OVER TUMBLING(5)",
+        ],
+    )
+    def test_rejects_with_grammar_message(self, bad):
+        with pytest.raises(ConfigurationError) as exc:
+            parse_query(bad)
+        assert "accepted forms" in str(exc.value)
+
+    def test_invalid_parameters_propagate(self):
+        # Parses fine but the query itself is invalid (window < 2).
+        with pytest.raises(ConfigurationError):
+            parse_query("COUNT{y: x > AVG(x)} OVER SLIDING(1)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "COUNT{y: x <= (1+99)*MIN(x)}",
+            "SUM{y: x >= MAX(x)/(1+9)}",
+            "COUNT{y: x > AVG(x)} OVER SLIDING(500)",
+            "AVG{y: |x - AVG(x)| < 3}",
+        ],
+    )
+    def test_parse_describe_parse(self, text):
+        """describe() output stays parseable (modulo scope suffix)."""
+        q1 = parse_query(text)
+        described = q1.describe().split(" [")[0]
+        suffix = f" OVER SLIDING({q1.window})" if q1.is_sliding else ""
+        q2 = parse_query(described + suffix)
+        assert q1 == q2

@@ -1,0 +1,83 @@
+"""Tests for the CorrelatedQuery specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_require_epsilon_for_extrema(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedQuery("count", "min")  # epsilon defaults to 0
+
+    def test_avg_needs_no_epsilon(self):
+        q = CorrelatedQuery("count", "avg")
+        assert q.epsilon == 0.0
+
+    def test_unknown_dependent(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedQuery("median", "min", epsilon=1.0)
+
+    def test_unknown_independent(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedQuery("count", "stddev")
+
+    def test_window_lower_bound(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedQuery("count", "avg", window=1)
+
+    def test_frozen(self):
+        q = CorrelatedQuery("count", "avg")
+        with pytest.raises(AttributeError):
+            q.dependent = "sum"  # type: ignore[misc]
+
+
+class TestSemantics:
+    def test_min_threshold(self):
+        q = CorrelatedQuery("count", "min", epsilon=99.0)
+        assert q.threshold(2.0) == 200.0
+
+    def test_max_threshold(self):
+        q = CorrelatedQuery("count", "max", epsilon=9.0)
+        assert q.threshold(100.0) == 10.0
+
+    def test_avg_threshold_is_identity(self):
+        q = CorrelatedQuery("count", "avg")
+        assert q.threshold(42.0) == 42.0
+
+    def test_min_qualifies_inclusive(self):
+        q = CorrelatedQuery("count", "min", epsilon=1.0)
+        assert q.qualifies(2.0, 1.0)  # 2 <= 2
+        assert not q.qualifies(2.1, 1.0)
+
+    def test_max_qualifies_inclusive(self):
+        q = CorrelatedQuery("count", "max", epsilon=1.0)
+        assert q.qualifies(5.0, 10.0)  # 5 >= 10/2
+        assert not q.qualifies(4.9, 10.0)
+
+    def test_avg_qualifies_strict(self):
+        q = CorrelatedQuery("count", "avg")
+        assert not q.qualifies(5.0, 5.0)
+        assert q.qualifies(5.01, 5.0)
+
+    def test_contribution(self):
+        count_q = CorrelatedQuery("count", "avg")
+        sum_q = CorrelatedQuery("sum", "avg")
+        assert count_q.contribution(7.0) == 1.0
+        assert sum_q.contribution(7.0) == 7.0
+
+    def test_is_sliding(self):
+        assert CorrelatedQuery("count", "avg", window=10).is_sliding
+        assert not CorrelatedQuery("count", "avg").is_sliding
+
+    def test_describe(self):
+        q = CorrelatedQuery("count", "min", epsilon=99.0)
+        text = q.describe()
+        assert "COUNT" in text and "MIN" in text and "landmark" in text
+        q2 = CorrelatedQuery("sum", "avg", window=500)
+        assert "sliding w=500" in q2.describe()
+        q3 = CorrelatedQuery("sum", "max", epsilon=9.0)
+        assert "MAX" in q3.describe()

@@ -1,0 +1,124 @@
+"""Tests for the sliding-window AVG estimator (paper Section 4.1.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_series
+from repro.core.query import CorrelatedQuery
+from repro.core.sliding_avg import SlidingAvgEstimator
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams.model import Record
+from tests.conftest import make_records
+
+AVG_Q = CorrelatedQuery("count", "avg", window=50)
+
+
+class TestValidation:
+    def test_requires_avg_query(self):
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(CorrelatedQuery("count", "min", epsilon=1.0, window=10))
+
+    def test_requires_sliding_scope(self):
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(CorrelatedQuery("count", "avg"))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(AVG_Q, num_buckets=3)
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(AVG_Q, strategy="other")
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(AVG_Q, policy="other")
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(AVG_Q, k_std=-1.0)
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(AVG_Q, num_buckets=100)
+        with pytest.raises(ConfigurationError):
+            SlidingAvgEstimator(AVG_Q, rebuild_period=-3)
+
+    def test_focus_before_build_raises(self):
+        est = SlidingAvgEstimator(AVG_Q)
+        with pytest.raises(StreamError):
+            est.focus_interval
+
+
+class TestBehaviour:
+    def test_exact_during_warmup(self):
+        est = SlidingAvgEstimator(AVG_Q, num_buckets=5)
+        records = make_records([2.0, 8.0, 4.0, 6.0])
+        exact = exact_series(records, AVG_Q)
+        assert [est.update(r) for r in records] == exact
+
+    def test_window_mean_is_exact(self, rng):
+        xs = rng.uniform(0.0, 100.0, size=300)
+        est = SlidingAvgEstimator(AVG_Q, num_buckets=6)
+        for i, r in enumerate(make_records(xs)):
+            est.update(r)
+            live = xs[max(0, i - 49) : i + 1]
+            assert est.mean == pytest.approx(live.mean(), rel=1e-9)
+
+    def test_regime_change_rebuild(self):
+        # A dominant value enters and leaves the window: the estimator must
+        # recover rather than keep stale tail classifications.
+        q = CorrelatedQuery("count", "avg", window=30)
+        est = SlidingAvgEstimator(q, num_buckets=6, num_intervals=6)
+        values = [10.0] * 40 + [100000.0] + [10.0] * 80
+        records = make_records(values)
+        exact = exact_series(records, q)
+        outputs = [est.update(r) for r in records]
+        # Long after the spike expired, the answer must match again.
+        assert outputs[-1] == pytest.approx(exact[-1], abs=2.0)
+
+    def test_mean_in_or_near_focus(self, rng):
+        xs = np.abs(rng.normal(10.0, 2.0, size=400)) + 0.1
+        est = SlidingAvgEstimator(AVG_Q, num_buckets=8)
+        for r in make_records(xs):
+            est.update(r)
+        lo, hi = est.focus_interval
+        assert lo - 1e-9 <= est.mean <= hi + 1e-9
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("strategy", ["wholesale", "piecemeal"])
+    @pytest.mark.parametrize("policy", ["uniform", "quantile"])
+    def test_tracks_exact_on_lognormal(self, rng, strategy, policy):
+        xs = rng.lognormal(mean=2.0, sigma=0.8, size=2000)
+        records = make_records(xs)
+        q = CorrelatedQuery("count", "avg", window=500)
+        est = SlidingAvgEstimator(q, num_buckets=10, strategy=strategy, policy=policy)
+        outputs = np.array([est.update(r) for r in records])
+        exact = np.array(exact_series(records, q))
+        rmse = float(np.sqrt(np.mean((outputs - exact) ** 2)))
+        assert rmse < 0.15 * exact.mean()
+
+    def test_sum_dependent(self, rng):
+        xs = rng.uniform(1.0, 100.0, size=800)
+        ys = rng.uniform(0.0, 5.0, size=800)
+        records = make_records(xs, ys)
+        q = CorrelatedQuery("sum", "avg", window=200)
+        est = SlidingAvgEstimator(q, num_buckets=8)
+        outputs = np.array([est.update(r) for r in records])
+        exact = np.array(exact_series(records, q))
+        rmse = float(np.sqrt(np.mean((outputs - exact) ** 2)))
+        assert rmse < 0.2 * exact.mean()
+
+    def test_estimate_bounded_by_window(self, rng):
+        xs = rng.exponential(scale=3.0, size=500) + 0.1
+        q = CorrelatedQuery("count", "avg", window=40)
+        est = SlidingAvgEstimator(q, num_buckets=5)
+        for r in make_records(xs):
+            out = est.update(r)
+            assert 0.0 <= out <= 40 + 1e-6
+
+    @given(xs=st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_never_crashes(self, xs):
+        q = CorrelatedQuery("count", "avg", window=12)
+        est = SlidingAvgEstimator(q, num_buckets=5, num_intervals=4)
+        for r in make_records(xs):
+            out = est.update(r)
+            assert np.isfinite(out)

@@ -1,0 +1,140 @@
+"""Tests for the sliding-window extrema estimator (paper Section 4.1.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import exact_series
+from repro.core.query import CorrelatedQuery
+from repro.core.sliding_extrema import SlidingExtremaEstimator
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams.model import Record
+from tests.conftest import make_records
+
+MIN_Q = CorrelatedQuery("count", "min", epsilon=1.0, window=50)
+MAX_Q = CorrelatedQuery("count", "max", epsilon=1.0, window=50)
+
+
+class TestValidation:
+    def test_requires_extrema_query(self):
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(CorrelatedQuery("count", "avg", window=10))
+
+    def test_requires_sliding_scope(self):
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(CorrelatedQuery("count", "min", epsilon=1.0))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(MIN_Q, num_buckets=2)
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(MIN_Q, strategy="other")
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(MIN_Q, policy="other")
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(MIN_Q, num_buckets=100)  # > window
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(MIN_Q, num_intervals=100)  # > window
+        with pytest.raises(ConfigurationError):
+            SlidingExtremaEstimator(MIN_Q, rebuild_period=-1)
+
+    def test_focus_interval_before_build_raises(self):
+        est = SlidingExtremaEstimator(MIN_Q)
+        with pytest.raises(StreamError):
+            est.focus_interval
+
+
+class TestBehaviour:
+    def test_exact_during_warmup(self):
+        est = SlidingExtremaEstimator(MIN_Q, num_buckets=10)
+        records = make_records([10.0, 12.0, 5.0, 30.0])
+        exact = exact_series(records, MIN_Q)
+        assert [est.update(r) for r in records] == exact
+
+    def test_expired_minimum_recovers(self):
+        # Deep minimum expires; the estimate must track the window's new
+        # regime instead of staying anchored to the old minimum.
+        q = CorrelatedQuery("count", "min", epsilon=0.5, window=20)
+        est = SlidingExtremaEstimator(q, num_buckets=5, num_intervals=4)
+        records = make_records([1.0] + [100.0] * 60)
+        exact = exact_series(records, q)
+        outputs = [est.update(r) for r in records]
+        # After the 1.0 fully rotates out, all 20 window values (100) qualify.
+        assert outputs[-1] == pytest.approx(exact[-1], rel=0.1)
+
+    def test_extremum_estimate_is_lower_bound_for_min(self, rng):
+        xs = rng.uniform(1.0, 100.0, size=300)
+        q = CorrelatedQuery("count", "min", epsilon=1.0, window=40)
+        est = SlidingExtremaEstimator(q, num_buckets=8, num_intervals=8)
+        for i, r in enumerate(make_records(xs)):
+            est.update(r)
+            true_min = xs[max(0, i - 39) : i + 1].min()
+            assert est.extremum_estimate <= true_min + 1e-9
+
+    def test_negative_values_rejected(self):
+        est = SlidingExtremaEstimator(MIN_Q)
+        with pytest.raises(StreamError):
+            for x in [5.0] * 20 + [-1.0]:
+                est.update(Record(x))
+
+    def test_max_mode(self, rng):
+        xs = rng.uniform(1.0, 100.0, size=400)
+        q = CorrelatedQuery("count", "max", epsilon=1.0, window=50)
+        est = SlidingExtremaEstimator(q, num_buckets=8)
+        outputs = np.array([est.update(r) for r in make_records(xs)])
+        exact = np.array(exact_series(make_records(xs), q))
+        rmse = float(np.sqrt(np.mean((outputs - exact) ** 2)))
+        assert rmse < 0.25 * exact.mean()
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("strategy", ["wholesale", "piecemeal"])
+    def test_tracks_exact_on_lognormal(self, rng, strategy):
+        xs = rng.lognormal(mean=3.0, sigma=1.0, size=2500)
+        records = make_records(xs)
+        q = CorrelatedQuery("count", "min", epsilon=99.0, window=500)
+        est = SlidingExtremaEstimator(q, num_buckets=10, strategy=strategy)
+        outputs = np.array([est.update(r) for r in records])
+        exact = np.array(exact_series(records, q))
+        rmse = float(np.sqrt(np.mean((outputs - exact) ** 2)))
+        assert rmse < 0.25 * exact.mean()
+
+    def test_periodic_rebuild_improves_drifting_stream(self, rng):
+        # A slowly drifting value scale strands mass without rebuilds.
+        base = np.linspace(1.0, 10.0, 2000)
+        xs = base * rng.uniform(0.9, 1.1, size=2000)
+        records = make_records(xs)
+        q = CorrelatedQuery("count", "min", epsilon=3.0, window=400)
+        exact = np.array(exact_series(records, q))
+
+        def rmse_for(period):
+            est = SlidingExtremaEstimator(q, num_buckets=8, rebuild_period=period)
+            outs = np.array([est.update(r) for r in records])
+            return float(np.sqrt(np.mean((outs - exact) ** 2)))
+
+        assert rmse_for(40) <= rmse_for(0) + 1e-9
+
+    def test_estimate_never_negative(self, rng):
+        xs = rng.uniform(1.0, 50.0, size=400)
+        q = CorrelatedQuery("count", "min", epsilon=0.5, window=60)
+        est = SlidingExtremaEstimator(q, num_buckets=6)
+        for r in make_records(xs):
+            assert est.update(r) >= 0.0
+
+    @given(
+        xs=st.lists(st.floats(0.5, 500.0), min_size=1, max_size=120),
+        strategy=st.sampled_from(["wholesale", "piecemeal"]),
+        policy=st.sampled_from(["uniform", "quantile"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_crashes_and_bounded_by_window(self, xs, strategy, policy):
+        q = CorrelatedQuery("count", "min", epsilon=2.0, window=10)
+        est = SlidingExtremaEstimator(
+            q, num_buckets=5, num_intervals=5, strategy=strategy, policy=policy
+        )
+        for r in make_records(xs):
+            out = est.update(r)
+            assert 0.0 <= out <= 10 + 1e-6

@@ -1,0 +1,200 @@
+"""Tests for time-based sliding windows (trackers + estimator)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import CorrelatedQuery
+from repro.core.time_sliding import TimeSlidingEstimator
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams.model import Record
+from repro.structures.time_intervals import TimeIntervalExtremaTracker
+
+MIN_Q = CorrelatedQuery("count", "min", epsilon=1.0)
+AVG_Q = CorrelatedQuery("count", "avg")
+
+
+def brute_force_time_series(events, query, duration):
+    """events: list of (time, Record). Exact answer after each event."""
+    out = []
+    for i in range(len(events)):
+        now = events[i][0]
+        scope = [r for t, r in events[: i + 1] if t > now - duration]
+        xs = [r.x for r in scope]
+        if query.independent == "min":
+            ind = min(xs)
+        elif query.independent == "max":
+            ind = max(xs)
+        else:
+            ind = math.fsum(xs) / len(xs)
+        qualifying = [r for r in scope if query.qualifies(r.x, ind)]
+        count, weight = float(len(qualifying)), sum(r.y for r in qualifying)
+        out.append(query.value_from(count, weight))
+    return out
+
+
+class TestTimeIntervalTracker:
+    def test_tracks_min_within_duration(self):
+        t = TimeIntervalExtremaTracker(duration=10.0, num_intervals=5, mode="min")
+        t.push(0.0, 5.0)
+        t.push(1.0, 3.0)
+        t.push(2.0, 8.0)
+        assert t.extremum() == 3.0
+
+    def test_old_extremum_expires_by_time(self):
+        t = TimeIntervalExtremaTracker(duration=10.0, num_intervals=5, mode="min")
+        t.push(0.0, 1.0)
+        t.push(50.0, 7.0)  # far in the future: everything old expired
+        assert t.extremum() == 7.0
+
+    def test_min_is_conservative_lower_bound(self):
+        rng = np.random.default_rng(0)
+        t = TimeIntervalExtremaTracker(duration=5.0, num_intervals=5, mode="min")
+        events = []
+        clock = 0.0
+        for _ in range(500):
+            clock += float(rng.exponential(0.1))
+            value = float(rng.uniform(1.0, 100.0))
+            events.append((clock, value))
+            t.push(clock, value)
+            live = [v for ts, v in events if ts > clock - 5.0]
+            assert t.extremum() <= min(live)
+
+    def test_slice_count_bounded(self):
+        t = TimeIntervalExtremaTracker(duration=10.0, num_intervals=8, mode="max")
+        for i in range(10_000):
+            t.push(i * 0.01, float(i % 17))
+        assert len(t) <= 9
+
+    def test_decreasing_timestamps_rejected(self):
+        t = TimeIntervalExtremaTracker(duration=10.0)
+        t.push(5.0, 1.0)
+        with pytest.raises(StreamError):
+            t.push(4.0, 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            TimeIntervalExtremaTracker(0.0)
+        with pytest.raises(ConfigurationError):
+            TimeIntervalExtremaTracker(10.0, num_intervals=0)
+        with pytest.raises(ConfigurationError):
+            TimeIntervalExtremaTracker(10.0, mode="median")
+
+    def test_worst_local_bounds_extremum(self):
+        t = TimeIntervalExtremaTracker(duration=6.0, num_intervals=3, mode="min")
+        for i, v in enumerate([5.0, 1.0, 9.0, 4.0, 2.0, 8.0]):
+            t.push(float(i), v)
+        assert t.extremum() <= t.worst_local()
+
+
+class TestTimeSlidingEstimatorValidation:
+    def test_rejects_tuple_window_query(self):
+        with pytest.raises(ConfigurationError):
+            TimeSlidingEstimator(
+                CorrelatedQuery("count", "avg", window=10), duration=5.0
+            )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            TimeSlidingEstimator(AVG_Q, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            TimeSlidingEstimator(AVG_Q, duration=5.0, num_buckets=3)
+        with pytest.raises(ConfigurationError):
+            TimeSlidingEstimator(AVG_Q, duration=5.0, strategy="other")
+        with pytest.raises(ConfigurationError):
+            TimeSlidingEstimator(AVG_Q, duration=5.0, k_std=0.0)
+        with pytest.raises(ConfigurationError):
+            TimeSlidingEstimator(AVG_Q, duration=5.0, rebuild_period=-1)
+
+    def test_rejects_decreasing_time(self):
+        est = TimeSlidingEstimator(AVG_Q, duration=5.0)
+        est.update(3.0, Record(1.0))
+        with pytest.raises(StreamError):
+            est.update(2.0, Record(1.0))
+
+    def test_rejects_non_finite(self):
+        est = TimeSlidingEstimator(AVG_Q, duration=5.0)
+        with pytest.raises(StreamError):
+            est.update(math.nan, Record(1.0))
+        with pytest.raises(StreamError):
+            est.update(0.0, Record(math.inf))
+
+
+class TestTimeSlidingAccuracy:
+    def _poisson_stream(self, rng, n, rate=1.0):
+        clock = 0.0
+        events = []
+        for _ in range(n):
+            clock += float(rng.exponential(1.0 / rate))
+            events.append((clock, Record(float(rng.lognormal(2.0, 0.8)), 1.0)))
+        return events
+
+    def test_min_tracks_brute_force(self, rng):
+        events = self._poisson_stream(rng, 1200)
+        duration = 50.0
+        query = CorrelatedQuery("count", "min", epsilon=9.0)
+        est = TimeSlidingEstimator(query, duration=duration, num_buckets=10)
+        outputs = [est.update(t, r) for t, r in events]
+        exact = brute_force_time_series(events, query, duration)
+        rmse = float(np.sqrt(np.mean((np.array(outputs) - np.array(exact)) ** 2)))
+        # Time-scoped extrema carry extra threshold staleness (the tracked
+        # minimum lags by up to one time slice), so the tolerance is looser
+        # than the count-window tests'.
+        assert rmse < 0.45 * max(np.mean(exact), 1.0)
+
+    def test_avg_tracks_brute_force(self, rng):
+        events = self._poisson_stream(rng, 1200)
+        duration = 80.0
+        est = TimeSlidingEstimator(AVG_Q, duration=duration, num_buckets=10)
+        outputs = [est.update(t, r) for t, r in events]
+        exact = brute_force_time_series(events, AVG_Q, duration)
+        rmse = float(np.sqrt(np.mean((np.array(outputs) - np.array(exact)) ** 2)))
+        assert rmse < 0.25 * max(np.mean(exact), 1.0)
+
+    def test_max_mode(self, rng):
+        events = self._poisson_stream(rng, 800)
+        duration = 40.0
+        query = CorrelatedQuery("count", "max", epsilon=3.0)
+        est = TimeSlidingEstimator(query, duration=duration, num_buckets=8)
+        outputs = [est.update(t, r) for t, r in events]
+        exact = brute_force_time_series(events, query, duration)
+        rmse = float(np.sqrt(np.mean((np.array(outputs) - np.array(exact)) ** 2)))
+        assert rmse < 0.4 * max(np.mean(exact), 1.0)
+
+    def test_bursty_arrivals_expire_in_bulk(self, rng):
+        # A silent gap longer than the window empties it entirely.
+        query = AVG_Q
+        est = TimeSlidingEstimator(query, duration=10.0, num_buckets=6)
+        for i in range(100):
+            est.update(float(i) * 0.1, Record(float(rng.uniform(1, 5))))
+        out = est.update(1000.0, Record(3.0))
+        assert est.live_count == 1
+        assert out == 0.0  # single tuple: nothing strictly above the mean
+
+    def test_live_count_matches_window(self, rng):
+        events = self._poisson_stream(rng, 600)
+        duration = 25.0
+        est = TimeSlidingEstimator(AVG_Q, duration=duration, num_buckets=6)
+        for i, (t, r) in enumerate(events):
+            est.update(t, r)
+            truth = sum(1 for ts, _ in events[: i + 1] if ts > t - duration)
+            assert est.live_count == truth
+
+    @given(
+        gaps=st.lists(st.floats(0.01, 5.0), min_size=1, max_size=80),
+        values=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_crashes(self, gaps, values):
+        est = TimeSlidingEstimator(MIN_Q, duration=7.5, num_buckets=5)
+        clock = 0.0
+        for gap in gaps:
+            clock += gap
+            x = values.draw(st.floats(0.1, 500.0))
+            out = est.update(clock, Record(x))
+            assert np.isfinite(out) and out >= 0.0

@@ -1,0 +1,57 @@
+"""Tests for the CallDetail example stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.calldetail import CallRecord, call_detail_stream
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record
+
+
+class TestCallDetailStream:
+    def test_size_and_determinism(self):
+        a = call_detail_stream(n=200, seed=5)
+        b = call_detail_stream(n=200, seed=5)
+        assert len(a) == 200
+        assert a == b
+
+    def test_time_is_monotone(self):
+        records = call_detail_stream(n=500)
+        times = [r.time for r in records]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_durations_positive(self):
+        assert all(r.duration > 0 for r in call_detail_stream(n=500))
+
+    def test_intl_fraction_roughly_honoured(self):
+        records = call_detail_stream(n=5000, intl_fraction=0.2)
+        share = sum(1 for r in records if r.is_intl) / len(records)
+        assert 0.15 < share < 0.25
+
+    def test_intl_calls_longer_on_average(self):
+        records = call_detail_stream(n=10_000)
+        intl = [r.duration for r in records if r.is_intl]
+        dom = [r.duration for r in records if not r.is_intl]
+        assert sum(intl) / len(intl) > sum(dom) / len(dom)
+
+    def test_intl_numbers_have_plus_prefix(self):
+        records = call_detail_stream(n=1000)
+        for r in records:
+            assert r.dialed.startswith("+") == r.is_intl
+
+    def test_origins_drawn_from_pool(self):
+        records = call_detail_stream(n=2000, num_customers=10)
+        assert len({r.origin for r in records}) <= 10
+
+    def test_to_xy_projection(self):
+        record = CallRecord("a", "b", 1.0, 7.5, False)
+        assert record.to_xy() == Record(7.5, 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            call_detail_stream(n=0)
+        with pytest.raises(ConfigurationError):
+            call_detail_stream(n=10, intl_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            call_detail_stream(n=10, num_customers=0)

@@ -1,0 +1,183 @@
+"""Tests for the four evaluation data-set generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.mgcty import LAT_RANGE, LON_RANGE, mgcty_stream
+from repro.datasets.multifractal import multifractal_stream
+from repro.datasets.usage import usage_stream
+from repro.datasets.zipf import zipf_stream
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record
+
+
+class TestUsage:
+    def test_default_size(self):
+        assert len(usage_stream()) == 20_000
+
+    def test_deterministic(self):
+        assert usage_stream(n=100, seed=1) == usage_stream(n=100, seed=1)
+
+    def test_seed_changes_stream(self):
+        assert usage_stream(n=100, seed=1) != usage_stream(n=100, seed=2)
+
+    def test_values_positive(self):
+        records = usage_stream(n=2000)
+        assert all(r.x > 0 and r.y > 0 for r in records)
+
+    def test_heavy_tail(self):
+        xs = np.array([r.x for r in usage_stream(n=10_000)])
+        # Heavy tail: the max dwarfs the median.
+        assert xs.max() > 20 * np.median(xs)
+
+    def test_local_correlation_without_global_trend(self):
+        xs = np.array([r.x for r in usage_stream(n=10_000)])
+        logs = np.log(xs)
+        lag1 = np.corrcoef(logs[:-1], logs[1:])[0, 1]
+        assert lag1 > 0.2  # neighbours correlate (as-collected order)
+        # No global trend: first and second half have similar means.
+        first, second = logs[:5000].mean(), logs[5000:].mean()
+        assert abs(first - second) < 0.15
+
+    def test_mean_converges_early(self):
+        # The paper's observation about its real data — the substitute must
+        # reproduce it for the AVG experiments to behave comparably.
+        xs = np.array([r.x for r in usage_stream(n=20_000)])
+        running = np.cumsum(xs) / np.arange(1, xs.size + 1)
+        final = running[-1]
+        assert abs(running[2000] - final) / final < 0.2
+
+    def test_y_correlates_with_x(self):
+        records = usage_stream(n=5000)
+        xs = np.array([r.x for r in records])
+        ys = np.array([r.y for r in records])
+        assert np.corrcoef(xs, ys)[0, 1] > 0.5
+
+    def test_near_zero_cluster_present(self):
+        # The low-usage cluster puts the global minimum far below the body,
+        # which the extrema experiments rely on (see DESIGN.md).
+        xs = [r.x for r in usage_stream(n=10_000)]
+        assert min(xs) < 0.5
+        share = sum(1 for x in xs if x < 0.5) / len(xs)
+        assert 0.005 < share < 0.05
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            usage_stream(n=0)
+        with pytest.raises(ConfigurationError):
+            usage_stream(n=10, tail_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            usage_stream(n=10, correlation=1.0)
+        with pytest.raises(ConfigurationError):
+            usage_stream(n=10, low_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            usage_stream(n=10, tail_fraction=0.6, low_fraction=0.5)
+
+
+class TestMgcty:
+    def test_default_size(self):
+        assert len(mgcty_stream()) == 65_536
+
+    def test_deterministic(self):
+        assert mgcty_stream(n=500, seed=3) == mgcty_stream(n=500, seed=3)
+
+    def test_within_bounding_box(self):
+        records = mgcty_stream(n=5000)
+        for r in records:
+            assert LON_RANGE[0] <= r.x <= LON_RANGE[1]
+            assert LAT_RANGE[0] <= r.y <= LAT_RANGE[1]
+
+    def test_multimodal_longitudes(self):
+        xs = np.array([r.x for r in mgcty_stream(n=20_000)])
+        hist, _ = np.histogram(xs, bins=50)
+        # Clustered data: the densest bins dominate the average bin.
+        assert hist.max() > 4 * hist.mean()
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            mgcty_stream(n=0)
+        with pytest.raises(ConfigurationError):
+            mgcty_stream(n=10, num_towns=1)
+
+
+class TestZipf:
+    def test_default_size(self):
+        assert len(zipf_stream()) == 20_000
+
+    def test_deterministic(self):
+        assert zipf_stream(n=200, seed=9) == zipf_stream(n=200, seed=9)
+
+    def test_zipf_magnitudes(self):
+        records = zipf_stream(n=5000, scale=1.0e9, exponent=7.0, num_ranks=1000)
+        xs = np.array([r.x for r in records])
+        assert xs.max() <= 1.0e9
+        assert xs.min() >= 1.0e9 * 1000.0**-7.0 - 1e-12
+        # Enormous dynamic range is the point of this data set.
+        assert xs.max() / xs.min() > 1e12
+
+    def test_values_positive(self):
+        assert all(r.x > 0 for r in zipf_stream(n=1000))
+
+    def test_duplication_increases_top_rank_frequency(self):
+        base = zipf_stream(n=5000, duplication=0.0)
+        duped = zipf_stream(n=5000, duplication=0.5)
+        top = max(r.x for r in base)
+        base_hits = sum(1 for r in base if r.x == top)
+        duped_hits = sum(1 for r in duped if r.x == max(x.x for x in duped))
+        assert duped_hits > base_hits
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            zipf_stream(n=0)
+        with pytest.raises(ConfigurationError):
+            zipf_stream(n=10, exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            zipf_stream(n=10, duplication=1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_stream(n=10, num_ranks=0)
+
+
+class TestMultifractal:
+    def test_default_size(self):
+        assert len(multifractal_stream()) == 2**14
+
+    def test_deterministic(self):
+        assert multifractal_stream(n=300, seed=2) == multifractal_stream(n=300, seed=2)
+
+    def test_values_in_domain(self):
+        records = multifractal_stream(n=3000, domain=1.0e6)
+        assert all(0.0 <= r.x < 1.0e6 for r in records)
+
+    def test_burstiness_80_20(self):
+        # With bias 0.8, mass concentrates: the busiest 20% of cells should
+        # hold well over half the points.
+        xs = np.array([r.x for r in multifractal_stream(n=16_384, bias=0.8)])
+        hist, _ = np.histogram(xs, bins=64)
+        hist = np.sort(hist)[::-1]
+        top20 = hist[: max(1, len(hist) // 5)].sum()
+        assert top20 / hist.sum() > 0.5
+
+    def test_unbiased_cascade_is_flat(self):
+        xs = np.array([r.x for r in multifractal_stream(n=16_384, bias=0.5)])
+        hist, _ = np.histogram(xs, bins=16)
+        assert hist.max() < 2.0 * hist.mean()
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            multifractal_stream(n=0)
+        with pytest.raises(ConfigurationError):
+            multifractal_stream(n=10, bias=0.4)
+        with pytest.raises(ConfigurationError):
+            multifractal_stream(n=10, depth=0)
+
+
+class TestRecordShape:
+    @pytest.mark.parametrize(
+        "generator", [usage_stream, mgcty_stream, zipf_stream, multifractal_stream]
+    )
+    def test_returns_records(self, generator):
+        records = generator(n=50)
+        assert len(records) == 50
+        assert all(isinstance(r, Record) for r in records)

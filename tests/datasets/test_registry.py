@@ -1,0 +1,35 @@
+"""Tests for the named data-set registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import DATASETS, dataset_names, load_dataset
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["USAGE", "MGCTY", "ZIPF", "MULTIFRAC"]
+
+    def test_load_is_case_insensitive(self):
+        assert load_dataset("usage", size=50) == load_dataset("USAGE", size=50)
+
+    def test_size_override(self):
+        assert len(load_dataset("ZIPF", size=123)) == 123
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("nope")
+
+    def test_loads_are_memoised_but_copied(self):
+        a = load_dataset("MULTIFRAC", size=10)
+        b = load_dataset("MULTIFRAC", size=10)
+        assert a == b
+        a.append("sentinel")  # mutating the returned list must be safe
+        assert load_dataset("MULTIFRAC", size=10) == b
+
+    def test_every_registered_generator_callable(self):
+        for name in DATASETS:
+            records = load_dataset(name, size=20)
+            assert len(records) == 20

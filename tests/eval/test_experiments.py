@@ -1,0 +1,77 @@
+"""Tests for the figure-by-figure experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import CorrelatedQuery
+from repro.eval.experiments import EXPERIMENTS, PanelSpec, run_experiment
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistryIntegrity:
+    def test_all_figures_present(self):
+        assert set(EXPERIMENTS) == {"F4", "F5", "F6", "F7", "F8", "F9", "F10", "F12", "F13"}
+
+    def test_parameters_match_paper(self):
+        f4 = EXPERIMENTS["F4"]
+        assert f4.num_buckets == 10
+        usage, zipf = f4.panels
+        assert usage.dataset == "USAGE" and usage.query.epsilon == 99.0
+        assert zipf.dataset == "ZIPF" and zipf.query.epsilon == 1000.0
+
+        assert EXPERIMENTS["F7"].num_buckets == 5
+        assert EXPERIMENTS["F6"].panels[0].ordering == "reverse-sorted"
+        assert all(p.query.window == 500 for p in EXPERIMENTS["F12"].panels)
+        assert all(p.query.window == 500 for p in EXPERIMENTS["F13"].panels)
+        assert {p.dataset for p in EXPERIMENTS["F13"].panels} == {"ZIPF", "MGCTY"}
+
+    def test_sum_variants(self):
+        assert all(p.query.dependent == "sum" for p in EXPERIMENTS["F5"].panels)
+        assert all(p.query.dependent == "sum" for p in EXPERIMENTS["F9"].panels)
+
+    def test_methods_listed(self):
+        methods = EXPERIMENTS["F4"].methods()
+        assert "piecemeal-uniform" in methods and "equidepth" in methods
+
+
+class TestPanelSpec:
+    def test_invalid_ordering(self):
+        with pytest.raises(ConfigurationError):
+            PanelSpec("USAGE", CorrelatedQuery("count", "avg"), ordering="sorted")
+
+    def test_load_respects_size(self):
+        panel = PanelSpec("ZIPF", CorrelatedQuery("count", "avg"))
+        assert len(panel.load(size=64)) == 64
+
+    def test_reverse_ordering_applied(self):
+        panel = PanelSpec("USAGE", CorrelatedQuery("count", "avg"), "reverse-sorted")
+        records = panel.load(size=200)
+        xs = [r.x for r in records]
+        assert min(xs[:100]) > min(xs)  # small values only in the late part
+
+    def test_random_ordering_is_permutation(self):
+        base = PanelSpec("USAGE", CorrelatedQuery("count", "avg")).load(size=100)
+        shuffled = PanelSpec("USAGE", CorrelatedQuery("count", "avg"), "random").load(size=100)
+        assert sorted(shuffled) == sorted(base)
+        assert shuffled != base
+
+
+class TestRunExperiment:
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("F99")
+
+    def test_quick_run_produces_panel_results(self):
+        panels = run_experiment("F7", size=400, methods=["piecemeal-uniform", "equidepth"])
+        assert len(panels) == 1
+        result = panels[0]
+        rmse = result.final_rmse()
+        assert set(rmse) == {"piecemeal-uniform", "equidepth"}
+        assert all(v >= 0.0 for v in rmse.values())
+
+    def test_num_buckets_override(self):
+        panels = run_experiment(
+            "F7", size=300, methods=["piecemeal-uniform"], num_buckets=8
+        )
+        assert panels[0].results["piecemeal-uniform"].outputs.shape == (300,)

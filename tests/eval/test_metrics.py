@@ -1,0 +1,111 @@
+"""Tests for the paper's RMSE definitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    mean_relative_error,
+    prefix_rmse,
+    prefix_rmse_series,
+    rmse,
+    sliding_rmse_series,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRmse:
+    def test_zero_for_identical_series(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_manual_example(self):
+        # errors 3 and 4 -> sqrt((9+16)/2)
+        assert rmse([3.0, 0.0], [0.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rmse([], [])
+
+    def test_prefix_rmse_alias(self):
+        out, ref = [1.0, 5.0], [2.0, 2.0]
+        assert prefix_rmse(out, ref) == rmse(out, ref)
+
+
+class TestPrefixSeries:
+    def test_running_formula(self):
+        out = [1.0, 1.0, 1.0]
+        ref = [0.0, 2.0, 4.0]
+        series = prefix_rmse_series(out, ref)
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] == pytest.approx(np.sqrt((1 + 1) / 2))
+        assert series[2] == pytest.approx(np.sqrt((1 + 1 + 9) / 3))
+
+    def test_last_entry_is_total_rmse(self):
+        out = [3.0, 1.0, 4.0]
+        ref = [2.0, 2.0, 2.0]
+        assert prefix_rmse_series(out, ref)[-1] == pytest.approx(rmse(out, ref))
+
+    @given(
+        values=st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_under_growing_error(self, values):
+        out = [a for a, _ in values]
+        ref = [b for _, b in values]
+        series = prefix_rmse_series(out, ref)
+        for i in range(len(series)):
+            assert series[i] == pytest.approx(rmse(out[: i + 1], ref[: i + 1]), abs=1e-9)
+
+
+class TestSlidingSeries:
+    def test_trailing_window_formula(self):
+        out = [1.0, 1.0, 1.0, 1.0]
+        ref = [0.0, 0.0, 1.0, 1.0]
+        series = sliding_rmse_series(out, ref, window=2)
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] == pytest.approx(1.0)
+        assert series[2] == pytest.approx(np.sqrt(0.5))
+        assert series[3] == pytest.approx(0.0)
+
+    def test_window_one_is_absolute_error(self):
+        out = [1.0, 5.0]
+        ref = [2.0, 2.0]
+        series = sliding_rmse_series(out, ref, window=1)
+        assert series == pytest.approx([1.0, 3.0])
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            sliding_rmse_series([1.0], [1.0], window=0)
+
+    def test_window_larger_than_series_equals_prefix(self):
+        out = [1.0, 3.0, 7.0]
+        ref = [0.0, 0.0, 0.0]
+        wide = sliding_rmse_series(out, ref, window=100)
+        prefix = prefix_rmse_series(out, ref)
+        assert wide == pytest.approx(prefix)
+
+
+class TestOtherMetrics:
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 3.0], [2.0, 1.0]) == pytest.approx(1.5)
+
+    def test_max_error(self):
+        assert max_absolute_error([1.0, 3.0], [2.0, 10.0]) == 7.0
+
+    def test_relative_error_floor(self):
+        # exact = 0 would divide by zero without the floor
+        assert mean_relative_error([1.0], [0.0], floor=1.0) == pytest.approx(1.0)
+
+    def test_relative_error_plain(self):
+        assert mean_relative_error([110.0], [100.0]) == pytest.approx(0.1)

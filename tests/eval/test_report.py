@@ -1,0 +1,62 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.report import (
+    format_experiment_result,
+    format_rmse_series_table,
+    format_table,
+    format_tracking_table,
+)
+from repro.eval.tracker import MethodResult
+
+
+def _result(method: str, outputs, exact) -> MethodResult:
+    outputs = np.asarray(outputs, dtype=float)
+    exact = np.asarray(exact, dtype=float)
+    series = np.sqrt(np.cumsum((outputs - exact) ** 2) / np.arange(1, outputs.size + 1))
+    return MethodResult(method=method, outputs=outputs, exact=exact, rmse_series=series)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # Right-aligned columns: every row renders to the same width.
+        assert len({len(line) for line in lines}) == 1
+
+
+class TestExperimentResult:
+    def test_sorted_by_final_rmse(self):
+        good = _result("good", [1.0, 2.0], [1.0, 2.0])
+        bad = _result("bad", [5.0, 9.0], [1.0, 2.0])
+        text = format_experiment_result("Panel X", {"bad": bad, "good": good})
+        assert text.index("good") < text.index("bad")
+        assert text.startswith("Panel X")
+
+
+class TestTrackingTables:
+    def test_tracking_table_has_checkpoint_rows(self):
+        exact = np.arange(100, dtype=float)
+        results = {"m": _result("m", exact + 1.0, exact)}
+        text = format_tracking_table(results, checkpoints=5)
+        lines = text.splitlines()
+        assert "exact" in lines[0] and "m" in lines[0]
+        assert len(lines) >= 6  # header + rule + >= checkpoints rows (unique steps)
+
+    def test_rmse_series_table(self):
+        exact = np.arange(50, dtype=float)
+        results = {
+            "a": _result("a", exact, exact),
+            "b": _result("b", exact + 2.0, exact),
+        }
+        text = format_rmse_series_table(results, checkpoints=4)
+        assert "a" in text and "b" in text
+        # Method a is exact: its column is all zeros.
+        last_row = text.splitlines()[-1].split()
+        assert float(last_row[1]) == 0.0
+        assert float(last_row[2]) == 2.0

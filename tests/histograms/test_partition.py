@@ -1,0 +1,154 @@
+"""Tests for the partitioning policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.histograms.bucket import BucketArray
+from repro.histograms.partition import (
+    normal_quantile_boundaries,
+    quantile_boundaries_from_histogram,
+    quantile_boundaries_from_values,
+    uniform_boundaries,
+)
+
+
+def _strictly_increasing(edges):
+    return all(b > a for a, b in zip(edges, edges[1:]))
+
+
+class TestUniform:
+    def test_even_spacing(self):
+        edges = uniform_boundaries(0.0, 10.0, 5)
+        assert edges == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_endpoints_exact(self):
+        edges = uniform_boundaries(0.1, 0.7, 3)
+        assert edges[0] == 0.1 and edges[-1] == 0.7
+
+    def test_single_bucket(self):
+        assert uniform_boundaries(1.0, 2.0, 1) == [1.0, 2.0]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            uniform_boundaries(0.0, 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            uniform_boundaries(1.0, 1.0, 2)
+
+
+class TestQuantileFromHistogram:
+    def test_uniform_histogram_gives_uniform_edges(self):
+        h = BucketArray([0.0, 5.0, 10.0], counts=[10.0, 10.0], weights=[10.0, 10.0])
+        edges = quantile_boundaries_from_histogram(h, 4)
+        assert edges == pytest.approx([0.0, 2.5, 5.0, 7.5, 10.0])
+
+    def test_skewed_histogram_concentrates_edges(self):
+        h = BucketArray([0.0, 5.0, 10.0], counts=[30.0, 10.0], weights=[1.0, 1.0])
+        edges = quantile_boundaries_from_histogram(h, 4)
+        # 3/4 of mass is in [0, 5], so 3 of 4 buckets live there.
+        assert edges[3] == pytest.approx(5.0)
+
+    def test_empty_histogram_falls_back_to_uniform(self):
+        h = BucketArray([0.0, 10.0])
+        edges = quantile_boundaries_from_histogram(h, 2)
+        assert edges == pytest.approx([0.0, 5.0, 10.0])
+
+    def test_subrange_target(self):
+        h = BucketArray([0.0, 10.0], counts=[10.0], weights=[10.0])
+        edges = quantile_boundaries_from_histogram(h, 2, low=2.0, high=6.0)
+        assert edges[0] == 2.0 and edges[-1] == 6.0
+        assert _strictly_increasing(edges)
+
+    @given(
+        counts=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=8),
+        m=st.integers(1, 12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_edges_always_valid(self, counts, m):
+        edges_in = [float(i) for i in range(len(counts) + 1)]
+        h = BucketArray(edges_in, counts=counts, weights=counts)
+        edges = quantile_boundaries_from_histogram(h, m)
+        assert len(edges) == m + 1
+        assert edges[0] == h.low and edges[-1] == h.high
+        assert _strictly_increasing(edges)
+
+    @given(
+        counts=st.lists(st.floats(1.0, 100.0), min_size=2, max_size=8),
+        m=st.integers(2, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_edges_equalise_estimated_mass(self, counts, m):
+        edges_in = [float(i) for i in range(len(counts) + 1)]
+        h = BucketArray(edges_in, counts=counts, weights=counts)
+        edges = quantile_boundaries_from_histogram(h, m)
+        masses = [
+            h.estimate_between(a, b).count for a, b in zip(edges, edges[1:])
+        ]
+        target = sum(counts) / m
+        for mass in masses:
+            assert mass == pytest.approx(target, rel=0.05, abs=0.5)
+
+
+class TestQuantileFromValues:
+    def test_median_split(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        edges = quantile_boundaries_from_values(values, 2, 0.0, 5.0)
+        assert len(edges) == 3
+        assert 2.0 <= edges[1] <= 3.0
+
+    def test_few_values_fall_back_to_uniform(self):
+        edges = quantile_boundaries_from_values([1.0], 4, 0.0, 8.0)
+        assert edges == pytest.approx([0.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_out_of_range_values_ignored(self):
+        edges = quantile_boundaries_from_values([-5.0, 50.0], 2, 0.0, 10.0)
+        assert edges == pytest.approx([0.0, 5.0, 10.0])
+
+    @given(
+        values=st.lists(st.floats(0.0, 100.0), min_size=0, max_size=60),
+        m=st.integers(1, 10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_edges_always_valid(self, values, m):
+        edges = quantile_boundaries_from_values(values, m, 0.0, 100.0)
+        assert len(edges) == m + 1
+        assert edges[0] == 0.0 and edges[-1] == 100.0
+        assert _strictly_increasing(edges)
+
+
+class TestNormalQuantiles:
+    def test_symmetric_about_mean(self):
+        edges = normal_quantile_boundaries(0.0, 1.0, 4, -2.0, 2.0)
+        assert edges[2] == pytest.approx(0.0, abs=1e-6)
+        assert edges[1] == pytest.approx(-edges[3], abs=1e-6)
+
+    def test_edges_cover_interval(self):
+        edges = normal_quantile_boundaries(5.0, 2.0, 6, 1.0, 9.0)
+        assert edges[0] == 1.0 and edges[-1] == 9.0
+        assert _strictly_increasing(edges)
+
+    def test_zero_scale_falls_back_to_uniform(self):
+        edges = normal_quantile_boundaries(5.0, 0.0, 2, 0.0, 10.0)
+        assert edges == pytest.approx([0.0, 5.0, 10.0])
+
+    def test_quantiles_equalise_normal_mass(self):
+        from scipy.stats import norm
+
+        mean, scale = 3.0, 1.5
+        lo, hi = 0.0, 6.0
+        edges = normal_quantile_boundaries(mean, scale, 5, lo, hi)
+        cdf = norm(loc=mean, scale=scale).cdf
+        masses = [cdf(b) - cdf(a) for a, b in zip(edges, edges[1:])]
+        target = (cdf(hi) - cdf(lo)) / 5
+        for mass in masses:
+            assert mass == pytest.approx(target, rel=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            normal_quantile_boundaries(0.0, 1.0, 0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            normal_quantile_boundaries(0.0, 1.0, 2, 1.0, 1.0)

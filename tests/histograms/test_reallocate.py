@@ -1,0 +1,129 @@
+"""Tests for wholesale and piecemeal reallocation (paper Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.histograms.bucket import BucketArray
+from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
+
+
+def _filled(edges, xs):
+    h = BucketArray(edges)
+    for x in xs:
+        h.add(x, x)  # weight = value, to exercise both masses
+    return h
+
+
+class TestWholesale:
+    def test_identity_reallocation(self):
+        h = _filled([0.0, 5.0, 10.0], [1.0, 6.0, 7.0])
+        new, spill_low, spill_high = wholesale_reallocate(h, 0.0, 10.0, 2)
+        assert new.total().count == pytest.approx(3.0)
+        assert spill_low.count == 0.0 and spill_high.count == 0.0
+
+    def test_shrink_spills_both_sides(self):
+        h = _filled([0.0, 2.0, 4.0, 6.0, 8.0], [1.0, 3.0, 5.0, 7.0])
+        new, spill_low, spill_high = wholesale_reallocate(h, 2.0, 6.0, 4)
+        assert spill_low.count == pytest.approx(1.0)
+        assert spill_high.count == pytest.approx(1.0)
+        assert new.total().count == pytest.approx(2.0)
+
+    def test_mass_conserved_with_spills(self):
+        h = _filled([0.0, 2.0, 4.0, 6.0], [0.5, 2.5, 4.5, 5.5])
+        new, spill_low, spill_high = wholesale_reallocate(h, 1.0, 5.0, 3)
+        total = new.total().count + spill_low.count + spill_high.count
+        assert total == pytest.approx(4.0)
+
+    def test_expansion_adds_empty_space(self):
+        h = _filled([2.0, 4.0], [3.0])
+        new, spill_low, spill_high = wholesale_reallocate(h, 0.0, 8.0, 4)
+        assert new.low == 0.0 and new.high == 8.0
+        assert new.total().count == pytest.approx(1.0)
+        assert spill_low.count == 0.0 and spill_high.count == 0.0
+
+    def test_explicit_edges(self):
+        h = _filled([0.0, 4.0], [1.0, 3.0])
+        edges = [0.0, 1.0, 4.0]
+        new, _, _ = wholesale_reallocate(h, 0.0, 4.0, 2, edges=edges)
+        assert new.edges == edges
+
+    def test_explicit_edges_validated(self):
+        h = _filled([0.0, 4.0], [1.0])
+        with pytest.raises(ConfigurationError):
+            wholesale_reallocate(h, 0.0, 4.0, 2, edges=[0.0, 4.0])  # wrong count
+        with pytest.raises(ConfigurationError):
+            wholesale_reallocate(h, 0.0, 4.0, 2, edges=[1.0, 2.0, 4.0])  # wrong span
+
+    def test_quantile_policy_uses_histogram_density(self):
+        h = BucketArray([0.0, 1.0, 10.0], counts=[90.0, 10.0], weights=[1.0, 1.0])
+        new, _, _ = wholesale_reallocate(h, 0.0, 10.0, 4, policy="quantile")
+        # Most edges should crowd into [0, 1] where 90% of mass sits.
+        assert new.edges[3] <= 1.5
+
+    def test_invalid_args(self):
+        h = _filled([0.0, 1.0], [0.5])
+        with pytest.raises(ConfigurationError):
+            wholesale_reallocate(h, 1.0, 0.0, 2)
+        with pytest.raises(ConfigurationError):
+            wholesale_reallocate(h, 0.0, 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            wholesale_reallocate(h, 0.0, 1.0, 2, policy="magic")
+
+
+class TestPiecemeal:
+    def test_truncation_keeps_interior_buckets_exact(self):
+        h = _filled([0.0, 2.0, 4.0, 6.0], [1.0, 3.0, 5.0])
+        new, _, spill_high = piecemeal_reallocate(h, 0.0, 5.0, 3)
+        # The [0,2) and [2,4) buckets must keep their exact masses.
+        assert new.estimate_between(0.0, 2.0).count == pytest.approx(1.0)
+        assert new.estimate_between(2.0, 4.0).count == pytest.approx(1.0)
+        assert spill_high.count == pytest.approx(0.5)  # half of bucket [4,6)
+
+    def test_bucket_budget_restored_after_shrink(self):
+        h = _filled([0.0, 1.0, 2.0, 3.0, 4.0], [0.5, 1.5, 2.5, 3.5])
+        new, _, _ = piecemeal_reallocate(h, 0.0, 2.0, 4)
+        assert new.num_buckets == 4
+        assert new.low == 0.0 and new.high == 2.0
+
+    def test_bucket_budget_restored_after_extension(self):
+        h = _filled([2.0, 3.0, 4.0], [2.5, 3.5])
+        new, _, _ = piecemeal_reallocate(h, 0.0, 4.0, 2)
+        assert new.num_buckets == 2
+        assert new.low == 0.0 and new.high == 4.0
+        assert new.total().count == pytest.approx(2.0)
+
+    def test_disjoint_shift_rejected(self):
+        h = _filled([0.0, 1.0], [0.5])
+        with pytest.raises(ConfigurationError):
+            piecemeal_reallocate(h, 5.0, 6.0, 2)
+
+    def test_quantile_policy_splits_heaviest(self):
+        h = BucketArray([0.0, 1.0, 2.0, 3.0], counts=[10.0, 0.0, 0.0], weights=[1.0, 0.0, 0.0])
+        # Extension adds a fourth bucket; a budget of 5 forces one split,
+        # which the quantile policy takes from the heavy [0,1) bucket.
+        new, _, _ = piecemeal_reallocate(h, 0.0, 4.0, 5, policy="quantile")
+        assert new.num_buckets == 5
+        assert any(abs(e - 0.5) < 1e-9 for e in new.edges)
+
+    @given(
+        xs=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=40),
+        lo=st.floats(0.0, 4.0),
+        span=st.floats(1.0, 10.0),
+        m=st.integers(2, 8),
+        strategy=st.sampled_from(["wholesale", "piecemeal"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mass_conservation_property(self, xs, lo, span, m, strategy):
+        h = _filled([0.0, 2.5, 5.0, 7.5, 10.0], xs)
+        hi = lo + span
+        realloc = wholesale_reallocate if strategy == "wholesale" else piecemeal_reallocate
+        new, spill_low, spill_high = realloc(h, lo, hi, m)
+        assert new.num_buckets == m
+        total = new.total().count + spill_low.count + spill_high.count
+        assert total == pytest.approx(len(xs), abs=1e-6)
+        total_w = new.total().weight + spill_low.weight + spill_high.weight
+        assert total_w == pytest.approx(sum(xs), rel=1e-9, abs=1e-6)

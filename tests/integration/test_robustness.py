@@ -1,0 +1,114 @@
+"""Robustness and resource-bound invariants.
+
+Failure injection (non-finite inputs must be rejected loudly, not silently
+absorbed into a running mean) and space accounting (the whole point of the
+paper: estimator state must stay bounded regardless of stream length).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.engine import METHODS, build_estimator
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import StreamError
+from repro.streams.model import Record, ensure_finite
+from tests.conftest import make_records
+
+LM_MIN = CorrelatedQuery("count", "min", epsilon=9.0)
+LM_AVG = CorrelatedQuery("count", "avg")
+SW_MIN = CorrelatedQuery("count", "min", epsilon=9.0, window=50)
+SW_AVG = CorrelatedQuery("count", "avg", window=50)
+
+
+class TestEnsureFinite:
+    def test_passes_finite_through(self):
+        record = Record(1.0, 2.0)
+        assert ensure_finite(record) is record
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite_x(self, bad):
+        with pytest.raises(StreamError):
+            ensure_finite(Record(bad, 1.0))
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite_y(self, bad):
+        with pytest.raises(StreamError):
+            ensure_finite(Record(1.0, bad))
+
+
+class TestFailureInjection:
+    @pytest.mark.parametrize("method", [m for m in METHODS if "running" not in m])
+    def test_every_min_estimator_rejects_nan(self, method):
+        stream = make_records([1.0, 2.0, 3.0])
+        estimator = build_estimator(LM_MIN, method, stream=stream)
+        estimator.update(Record(2.0))  # in the offline methods' universe
+        with pytest.raises(StreamError):
+            estimator.update(Record(math.nan))
+
+    def test_avg_estimators_reject_inf(self):
+        for query in (LM_AVG, SW_AVG):
+            estimator = build_estimator(query, "piecemeal-uniform")
+            estimator.update(Record(5.0))
+            with pytest.raises(StreamError):
+                estimator.update(Record(math.inf))
+
+    def test_state_survives_rejected_record(self, rng):
+        # A rejected record must not corrupt the summary: subsequent
+        # updates continue from a consistent state.
+        estimator = build_estimator(LM_AVG, "piecemeal-uniform")
+        records = make_records(rng.uniform(1.0, 10.0, size=100))
+        for r in records[:50]:
+            estimator.update(r)
+        with pytest.raises(StreamError):
+            estimator.update(Record(math.nan))
+        for r in records[50:]:
+            out = estimator.update(r)
+        assert math.isfinite(out) and out >= 0.0
+
+
+def _bucket_count(estimator) -> int:
+    histogram = getattr(estimator, "histogram", None)
+    inner = histogram if histogram is not None else getattr(estimator, "_hist", None)
+    return inner.num_buckets if inner is not None else 0
+
+
+class TestBoundedState:
+    """The paper's contract: constant state however long the stream runs."""
+
+    def test_landmark_extrema_buckets_bounded(self, rng):
+        est = build_estimator(LM_MIN, "piecemeal-uniform", num_buckets=8)
+        for r in make_records(rng.lognormal(2.0, 1.0, size=5000)):
+            est.update(r)
+            assert _bucket_count(est) <= 8
+
+    def test_landmark_avg_buckets_bounded(self, rng):
+        est = build_estimator(LM_AVG, "wholesale-quantile", num_buckets=8)
+        for r in make_records(rng.lognormal(2.0, 1.0, size=5000)):
+            est.update(r)
+            assert _bucket_count(est) <= 8  # 2 of the 8 are scalar tails
+
+    def test_sliding_state_bounded(self, rng):
+        est = build_estimator(SW_MIN, "piecemeal-uniform", num_buckets=8)
+        for r in make_records(rng.lognormal(2.0, 1.0, size=3000)):
+            est.update(r)
+        assert _bucket_count(est) <= 8
+        assert len(est._ring) <= 50  # noqa: SLF001 - white-box bound check
+        assert len(est._tracked) <= 11
+
+    def test_warmup_buffer_is_released(self, rng):
+        est = build_estimator(LM_MIN, "piecemeal-uniform", num_buckets=8)
+        for r in make_records(rng.uniform(1.0, 10.0, size=100)):
+            est.update(r)
+        assert est._buffer is None  # noqa: SLF001
+
+    def test_heuristics_are_scalar_state(self):
+        est = build_estimator(LM_MIN, "heuristic-reset")
+        for r in make_records(range(1, 2001)):
+            est.update(r)
+        # No container state at all beyond a couple of floats.
+        assert all(
+            not isinstance(v, (list, dict, set)) for v in vars(est).values()
+        )

@@ -1,0 +1,62 @@
+"""Tests for records and the stream-algorithm runner."""
+
+from __future__ import annotations
+
+from repro.streams.model import Record, as_records, materialize, run_stream
+
+
+class Accumulator:
+    """Trivial stream algorithm: running sum of x."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+    def update(self, record: Record) -> float:
+        self.total += record.x
+        return self.total
+
+
+class TestRecord:
+    def test_default_y(self):
+        assert Record(3.0).y == 1.0
+
+    def test_fields(self):
+        r = Record(2.0, 5.0)
+        assert (r.x, r.y) == (2.0, 5.0)
+
+    def test_is_tuple(self):
+        x, y = Record(1.0, 2.0)
+        assert (x, y) == (1.0, 2.0)
+
+
+class TestRunners:
+    def test_run_stream_is_lazy_and_ordered(self):
+        outputs = run_stream(Accumulator(), [Record(1.0), Record(2.0), Record(3.0)])
+        assert next(outputs) == 1.0
+        assert list(outputs) == [3.0, 6.0]
+
+    def test_run_stream_coerces_tuples(self):
+        outputs = list(run_stream(Accumulator(), [(1.0, 9.0), (2.0, 8.0)]))
+        assert outputs == [1.0, 3.0]
+
+    def test_materialize(self):
+        assert materialize(Accumulator(), [Record(5.0)]) == [5.0]
+
+    def test_one_output_per_input(self):
+        records = [Record(float(i)) for i in range(17)]
+        assert len(materialize(Accumulator(), records)) == 17
+
+
+class TestAsRecords:
+    def test_floats_become_count_records(self):
+        records = as_records([1.0, 2.0])
+        assert records == [Record(1.0, 1.0), Record(2.0, 1.0)]
+
+    def test_tuples_and_records_pass_through(self):
+        records = as_records([(1.0, 2.0), Record(3.0, 4.0)])
+        assert records == [Record(1.0, 2.0), Record(3.0, 4.0)]
+
+    def test_mixed(self):
+        records = as_records([5, (6.0, 7.0)])
+        assert records[0] == Record(5.0, 1.0)
+        assert records[1] == Record(6.0, 7.0)

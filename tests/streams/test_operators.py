@@ -1,0 +1,129 @@
+"""Tests for exact level-0 stream aggregate operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, EmptyScopeError
+from repro.streams.model import Record
+from repro.streams.operators import StreamAggregateOperator
+from repro.streams.scopes import FullWindowScope, LandmarkScope, SlidingWindowScope
+
+
+def _run(op, records):
+    return [op.update(r) for r in records]
+
+
+class TestFullWindow:
+    def test_running_count(self):
+        op = StreamAggregateOperator("count", FullWindowScope())
+        assert _run(op, [Record(1.0), Record(2.0), Record(3.0)]) == [1.0, 2.0, 3.0]
+
+    def test_running_sum_over_y(self):
+        op = StreamAggregateOperator("sum", FullWindowScope())
+        records = [Record(0.0, 2.0), Record(0.0, 3.0)]
+        assert _run(op, records) == [2.0, 5.0]
+
+    def test_running_avg(self):
+        op = StreamAggregateOperator("avg", FullWindowScope())
+        records = [Record(0.0, 2.0), Record(0.0, 4.0)]
+        assert _run(op, records) == [2.0, 3.0]
+
+    def test_running_extrema(self):
+        op_min = StreamAggregateOperator("min", FullWindowScope())
+        op_max = StreamAggregateOperator("max", FullWindowScope())
+        records = [Record(0.0, 5.0), Record(0.0, 2.0), Record(0.0, 8.0)]
+        assert _run(op_min, records) == [5.0, 2.0, 2.0]
+        assert _run(op_max, records) == [5.0, 5.0, 8.0]
+
+    def test_predicate_filters(self):
+        op = StreamAggregateOperator(
+            "count", FullWindowScope(), predicate=lambda r: r.x > 0
+        )
+        records = [Record(1.0), Record(-1.0), Record(2.0)]
+        assert _run(op, records) == [1.0, 1.0, 2.0]
+
+    def test_empty_avg_raises(self):
+        op = StreamAggregateOperator(
+            "avg", FullWindowScope(), predicate=lambda r: False
+        )
+        with pytest.raises(EmptyScopeError):
+            op.update(Record(1.0, 1.0))
+
+
+class TestLandmark:
+    def test_count_resets_at_landmarks(self):
+        op = StreamAggregateOperator("count", LandmarkScope([1, 3]))
+        records = [Record(1.0)] * 5
+        assert _run(op, records) == [1.0, 2.0, 1.0, 2.0, 3.0]
+
+    def test_extrema_reset_at_landmarks(self):
+        op = StreamAggregateOperator("min", LandmarkScope([1, 3]))
+        records = [Record(0.0, 1.0), Record(0.0, 5.0), Record(0.0, 9.0), Record(0.0, 4.0)]
+        assert _run(op, records) == [1.0, 1.0, 9.0, 4.0]
+
+
+class TestSlidingWindow:
+    def test_windowed_count_with_predicate(self):
+        op = StreamAggregateOperator(
+            "count",
+            SlidingWindowScope(2),
+            predicate=lambda r: r.y > 0,
+            window=2,
+        )
+        records = [Record(0.0, 1.0), Record(0.0, -1.0), Record(0.0, 1.0), Record(0.0, 1.0)]
+        assert _run(op, records) == [1.0, 1.0, 1.0, 2.0]
+
+    def test_windowed_extrema(self):
+        op = StreamAggregateOperator("min", SlidingWindowScope(3), window=3)
+        values = [5.0, 3.0, 7.0, 4.0, 8.0]
+        expected = [5.0, 3.0, 3.0, 3.0, 4.0]
+        records = [Record(0.0, v) for v in values]
+        assert _run(op, records) == expected
+
+    def test_windowed_extrema_with_sparse_predicate(self):
+        # Expiry must follow stream positions, not qualifying pushes.
+        op = StreamAggregateOperator(
+            "max",
+            SlidingWindowScope(2),
+            predicate=lambda r: r.y > 0,
+            window=2,
+        )
+        records = [Record(0.0, 9.0), Record(0.0, -5.0), Record(0.0, 1.0)]
+        outputs = _run(op, records)
+        # At step 3 the window is positions {2, 3}; the 9.0 has expired.
+        assert outputs[-1] == 1.0
+
+
+class TestValidation:
+    def test_unknown_aggregate(self):
+        with pytest.raises(ConfigurationError):
+            StreamAggregateOperator("median", FullWindowScope())
+
+
+class TestAgainstBruteForce:
+    @given(
+        values=st.lists(st.floats(-100, 100), min_size=1, max_size=60),
+        window=st.integers(1, 8),
+        aggregate=st.sampled_from(["count", "sum", "min", "max"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sliding_matches_reference(self, values, window, aggregate):
+        records = [Record(0.0, v) for v in values]
+        op = StreamAggregateOperator(
+            aggregate, SlidingWindowScope(window), window=window
+        )
+        outputs = _run(op, records)
+        for i, out in enumerate(outputs):
+            scope = values[max(0, i - window + 1) : i + 1]
+            if aggregate == "count":
+                assert out == len(scope)
+            elif aggregate == "sum":
+                assert out == pytest.approx(np.sum(scope), abs=1e-6)
+            elif aggregate == "min":
+                assert out == min(scope)
+            else:
+                assert out == max(scope)

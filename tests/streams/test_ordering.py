@@ -1,0 +1,82 @@
+"""Tests for the arrival-order transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record
+from repro.streams.ordering import as_is, partially_sorted_reverse, random_permutation
+
+
+def _records(n: int, seed: int = 0) -> list[Record]:
+    rng = np.random.default_rng(seed)
+    return [Record(float(x), float(y)) for x, y in rng.uniform(1, 100, size=(n, 2))]
+
+
+class TestAsIs:
+    def test_returns_copy(self):
+        records = _records(5)
+        out = as_is(records)
+        assert out == records
+        assert out is not records
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        records = _records(50)
+        out = random_permutation(records, seed=1)
+        assert sorted(out) == sorted(records)
+
+    def test_deterministic_per_seed(self):
+        records = _records(30)
+        assert random_permutation(records, seed=7) == random_permutation(records, seed=7)
+
+    def test_different_seeds_differ(self):
+        records = _records(30)
+        assert random_permutation(records, seed=1) != random_permutation(records, seed=2)
+
+    def test_does_not_mutate_input(self):
+        records = _records(10)
+        snapshot = list(records)
+        random_permutation(records, seed=3)
+        assert records == snapshot
+
+
+class TestPartiallySortedReverse:
+    def test_is_permutation(self):
+        records = _records(60)
+        out = partially_sorted_reverse(records)
+        assert sorted(out) == sorted(records)
+
+    def test_large_values_come_first(self):
+        records = _records(100)
+        out = partially_sorted_reverse(records, drop_fraction=0.5)
+        xs = [r.x for r in out]
+        median = float(np.median(xs))
+        first_half = xs[: len(xs) // 2]
+        second_half = xs[len(xs) // 2 :]
+        assert all(x >= median for x in first_half)
+        assert all(x <= median for x in second_half)
+
+    def test_running_min_drops_abruptly(self):
+        records = _records(200)
+        out = partially_sorted_reverse(records, drop_fraction=0.5)
+        xs = [r.x for r in out]
+        cut = len(xs) // 2
+        min_before = min(xs[:cut])
+        min_after = min(xs)
+        assert min_after < min_before  # the drop exists
+
+    def test_parts_are_shuffled_not_sorted(self):
+        records = _records(300)
+        out = partially_sorted_reverse(records, drop_fraction=0.5, seed=0)
+        first = [r.x for r in out[:150]]
+        assert first != sorted(first) and first != sorted(first, reverse=True)
+
+    def test_invalid_fraction(self):
+        records = _records(10)
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ConfigurationError):
+                partially_sorted_reverse(records, drop_fraction=bad)

@@ -1,0 +1,177 @@
+"""Unit and property tests for the Fenwick tree and order-statistics index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.structures.fenwick import FenwickTree, OrderStatisticsIndex
+
+
+class TestFenwickTree:
+    def test_empty_tree_sums_to_zero(self):
+        tree = FenwickTree(8)
+        assert tree.total() == 0.0
+        assert tree.prefix_sum(0) == 0.0
+        assert tree.prefix_sum(8) == 0.0
+
+    def test_single_update_visible_in_prefix(self):
+        tree = FenwickTree(10)
+        tree.add(3, 5.0)
+        assert tree.prefix_sum(3) == 0.0
+        assert tree.prefix_sum(4) == 5.0
+        assert tree.total() == 5.0
+
+    def test_range_sum(self):
+        tree = FenwickTree(6)
+        for i in range(6):
+            tree.add(i, float(i))
+        assert tree.range_sum(2, 5) == 2.0 + 3.0 + 4.0
+
+    def test_negative_deltas(self):
+        tree = FenwickTree(4)
+        tree.add(1, 3.0)
+        tree.add(1, -3.0)
+        assert tree.total() == 0.0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FenwickTree(0)
+
+    def test_out_of_range_index_rejected(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.add(4, 1.0)
+        with pytest.raises(IndexError):
+            tree.prefix_sum(5)
+
+    def test_reversed_range_rejected(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.range_sum(3, 1)
+
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, 31), st.floats(-100, 100)), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_sums_match_numpy(self, updates):
+        tree = FenwickTree(32)
+        slots = np.zeros(32)
+        for index, delta in updates:
+            tree.add(index, delta)
+            slots[index] += delta
+        for count in range(33):
+            assert tree.prefix_sum(count) == pytest.approx(slots[:count].sum(), abs=1e-6)
+
+
+class TestOrderStatisticsIndex:
+    def test_count_and_sum_below_threshold(self):
+        index = OrderStatisticsIndex([1.0, 2.0, 3.0, 4.0])
+        index.insert(1.0, 10.0)
+        index.insert(3.0, 30.0)
+        index.insert(4.0, 40.0)
+        assert index.count_leq(3.0) == 2
+        assert index.count_lt(3.0) == 1
+        assert index.sum_leq(3.0) == 40.0
+        assert index.count_gt(3.0) == 1
+        assert index.sum_gt(3.0) == 40.0
+
+    def test_duplicates_counted_individually(self):
+        index = OrderStatisticsIndex([5.0, 7.0])
+        for _ in range(3):
+            index.insert(5.0, 1.0)
+        assert index.count_leq(5.0) == 3
+        assert index.count_lt(5.0) == 0
+
+    def test_delete_reverses_insert(self):
+        index = OrderStatisticsIndex([1.0, 2.0])
+        index.insert(1.0, 9.0)
+        index.insert(2.0, 4.0)
+        index.delete(1.0, 9.0)
+        assert len(index) == 1
+        assert index.count_leq(2.0) == 1
+        assert index.sum_total() == 4.0
+
+    def test_unknown_value_rejected(self):
+        index = OrderStatisticsIndex([1.0])
+        with pytest.raises(StreamError):
+            index.insert(2.0)
+
+    def test_delete_from_empty_rejected(self):
+        index = OrderStatisticsIndex([1.0])
+        with pytest.raises(StreamError):
+            index.delete(1.0)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OrderStatisticsIndex([])
+
+    def test_select_returns_kth_smallest(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        index = OrderStatisticsIndex(values)
+        for v in values:
+            index.insert(v)
+        for k, expected in enumerate(sorted(values)):
+            assert index.select(k) == expected
+
+    def test_select_with_duplicates(self):
+        index = OrderStatisticsIndex([1.0, 2.0])
+        index.insert(1.0)
+        index.insert(1.0)
+        index.insert(2.0)
+        assert index.select(0) == 1.0
+        assert index.select(1) == 1.0
+        assert index.select(2) == 2.0
+
+    def test_select_out_of_range(self):
+        index = OrderStatisticsIndex([1.0])
+        index.insert(1.0)
+        with pytest.raises(StreamError):
+            index.select(1)
+
+    def test_rank_mass_prefix(self):
+        index = OrderStatisticsIndex([1.0, 2.0, 3.0])
+        index.insert(1.0, 10.0)
+        index.insert(2.0, 20.0)
+        index.insert(3.0, 30.0)
+        assert index.rank_mass(0) == (0.0, 0.0)
+        assert index.rank_mass(2) == (2.0, 30.0)
+        assert index.rank_mass(3) == (3.0, 60.0)
+
+    def test_rank_mass_prorates_ties(self):
+        index = OrderStatisticsIndex([1.0])
+        index.insert(1.0, 10.0)
+        index.insert(1.0, 10.0)
+        count, weight = index.rank_mass(1)
+        assert count == 1.0
+        assert weight == pytest.approx(10.0)
+
+    @given(
+        values=st.lists(st.integers(0, 20), min_size=1, max_size=50),
+        threshold=st.integers(0, 20),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_counts_match_brute_force(self, values, threshold):
+        index = OrderStatisticsIndex([float(v) for v in set(values)])
+        for v in values:
+            index.insert(float(v), float(v) * 2.0)
+        assert index.count_leq(threshold) == sum(1 for v in values if v <= threshold)
+        assert index.count_lt(threshold) == sum(1 for v in values if v < threshold)
+        assert index.sum_leq(threshold) == pytest.approx(
+            sum(2.0 * v for v in values if v <= threshold)
+        )
+
+    @given(values=st.lists(st.integers(0, 50), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_select_matches_sorted(self, values):
+        index = OrderStatisticsIndex([float(v) for v in set(values)])
+        for v in values:
+            index.insert(float(v))
+        ordered = sorted(values)
+        for k in range(len(values)):
+            assert index.select(k) == float(ordered[k])

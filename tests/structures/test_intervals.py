@@ -1,0 +1,96 @@
+"""Tests for the interval-based sliding extrema tracker (paper Section 4.1.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.structures.intervals import IntervalExtremaTracker
+
+
+class TestIntervalExtremaTracker:
+    def test_tracks_min_within_first_interval(self):
+        t = IntervalExtremaTracker(window=100, num_intervals=10, mode="min")
+        for v in [5.0, 3.0, 8.0]:
+            t.push(v)
+        assert t.extremum() == 3.0
+
+    def test_interval_length_ceil(self):
+        t = IntervalExtremaTracker(window=10, num_intervals=3)
+        assert t.interval_length == 4  # ceil(10/3)
+
+    def test_extremum_before_push_raises(self):
+        t = IntervalExtremaTracker(window=10, num_intervals=2)
+        with pytest.raises(StreamError):
+            t.extremum()
+        with pytest.raises(StreamError):
+            t.worst_local()
+
+    def test_expired_minimum_is_eventually_forgotten(self):
+        # Window 20, 4 intervals of 5: a deep minimum in the first interval
+        # must disappear once its interval rotates out.
+        t = IntervalExtremaTracker(window=20, num_intervals=4, mode="min")
+        t.push(1.0)
+        for _ in range(30):
+            t.push(10.0)
+        assert t.extremum() == 10.0
+
+    def test_min_never_above_true_window_min(self):
+        # Retained intervals are a superset of the window, so the tracked
+        # minimum is a lower bound on the true window minimum.
+        values = [7.0, 3.0, 9.0, 4.0, 8.0, 2.0, 6.0, 5.0, 1.0, 9.0] * 5
+        window = 10
+        t = IntervalExtremaTracker(window=window, num_intervals=5, mode="min")
+        for i, v in enumerate(values):
+            t.push(v)
+            true_min = min(values[max(0, i - window + 1) : i + 1])
+            assert t.extremum() <= true_min
+
+    def test_max_mode_symmetry(self):
+        t = IntervalExtremaTracker(window=10, num_intervals=2, mode="max")
+        for v in [1.0, 9.0, 2.0]:
+            t.push(v)
+        assert t.extremum() == 9.0
+        assert t.worst_local() <= 9.0
+
+    def test_worst_local_bounds_extremum(self):
+        t = IntervalExtremaTracker(window=12, num_intervals=4, mode="min")
+        for v in [5.0, 1.0, 8.0, 9.0, 2.0, 7.0, 3.0, 4.0, 6.0, 5.5, 2.5, 1.5]:
+            t.push(v)
+        assert t.extremum() <= t.worst_local()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            IntervalExtremaTracker(0, 1)
+        with pytest.raises(ConfigurationError):
+            IntervalExtremaTracker(10, 0)
+        with pytest.raises(ConfigurationError):
+            IntervalExtremaTracker(10, 11)
+        with pytest.raises(ConfigurationError):
+            IntervalExtremaTracker(10, 2, mode="avg")
+
+    def test_state_is_bounded(self):
+        t = IntervalExtremaTracker(window=1000, num_intervals=8, mode="min")
+        for v in range(5000):
+            t.push(float(v))
+        assert len(t) <= 9  # 8 completed + 1 partial
+
+    @given(
+        window=st.integers(2, 30),
+        values=st.lists(st.floats(-1e4, 1e4), min_size=1, max_size=150),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_min_is_conservative_bound(self, window, values):
+        num_intervals = max(1, window // 3)
+        t = IntervalExtremaTracker(window=window, num_intervals=num_intervals, mode="min")
+        for i, v in enumerate(values):
+            t.push(v)
+            true_min = min(values[max(0, i - window + 1) : i + 1])
+            # Conservative: never above the true window min, and never below
+            # the min over the retained super-window (at most num_intervals
+            # completed intervals plus the current partial one).
+            span = (num_intervals + 1) * t.interval_length
+            retained = values[max(0, i - span + 1) : i + 1]
+            assert min(retained) <= t.extremum() <= true_min

@@ -1,0 +1,71 @@
+"""Tests for exact sliding-window extrema via the monotonic deque."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.structures.monotonic_deque import MonotonicDeque
+
+
+class TestMonotonicDeque:
+    def test_min_over_window(self):
+        d = MonotonicDeque(window=3, mode="min")
+        values = [5.0, 3.0, 7.0, 4.0, 8.0, 9.0]
+        expected = [5.0, 3.0, 3.0, 3.0, 4.0, 4.0]
+        for v, e in zip(values, expected):
+            d.push(v)
+            assert d.extremum() == e
+
+    def test_max_over_window(self):
+        d = MonotonicDeque(window=2, mode="max")
+        values = [1.0, 5.0, 2.0, 0.5]
+        expected = [1.0, 5.0, 5.0, 2.0]
+        for v, e in zip(values, expected):
+            d.push(v)
+            assert d.extremum() == e
+
+    def test_extremum_before_push_raises(self):
+        d = MonotonicDeque(window=2)
+        with pytest.raises(StreamError):
+            d.extremum()
+
+    def test_window_one_tracks_latest(self):
+        d = MonotonicDeque(window=1, mode="min")
+        for v in [3.0, 9.0, 1.0]:
+            d.push(v)
+            assert d.extremum() == v
+
+    def test_candidate_count_bounded_by_window(self):
+        d = MonotonicDeque(window=5, mode="min")
+        for v in range(100, 0, -1):  # worst case: strictly decreasing
+            d.push(float(v))
+        assert len(d) <= 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MonotonicDeque(0)
+        with pytest.raises(ConfigurationError):
+            MonotonicDeque(3, mode="median")
+
+    def test_duplicates(self):
+        d = MonotonicDeque(window=3, mode="min")
+        for v in [2.0, 2.0, 2.0, 5.0, 5.0, 5.0]:
+            d.push(v)
+        assert d.extremum() == 5.0
+
+    @given(
+        window=st.integers(1, 10),
+        mode=st.sampled_from(["min", "max"]),
+        values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=120),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, window, mode, values):
+        d = MonotonicDeque(window=window, mode=mode)
+        reference = min if mode == "min" else max
+        for i, v in enumerate(values):
+            d.push(v)
+            scope = values[max(0, i - window + 1) : i + 1]
+            assert d.extremum() == reference(scope)

@@ -1,0 +1,70 @@
+"""Tests for the P-squared streaming quantile estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, EmptyScopeError
+from repro.structures.p2_quantile import P2Quantile
+
+
+class TestP2Quantile:
+    def test_invalid_p_rejected(self):
+        for p in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                P2Quantile(p)
+
+    def test_empty_value_raises(self):
+        with pytest.raises(EmptyScopeError):
+            P2Quantile(0.5).value()
+
+    def test_small_samples_are_exact_order_statistics(self):
+        q = P2Quantile(0.5)
+        for v in [9.0, 1.0, 5.0]:
+            q.push(v)
+        assert q.value() == 5.0  # median of {1, 5, 9}
+
+    def test_median_of_uniform_sequence(self):
+        q = P2Quantile(0.5)
+        for v in range(1, 1001):
+            q.push(float(v))
+        assert q.value() == pytest.approx(500.0, rel=0.05)
+
+    def test_extreme_quantile(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5000)
+        q = P2Quantile(0.95)
+        for v in values:
+            q.push(float(v))
+        assert q.value() == pytest.approx(np.quantile(values, 0.95), abs=0.15)
+
+    def test_count_tracks_pushes(self):
+        q = P2Quantile(0.25)
+        for v in range(7):
+            q.push(float(v))
+        assert q.count == 7
+
+    def test_monotone_marker_heights(self):
+        rng = np.random.default_rng(3)
+        q = P2Quantile(0.5)
+        for v in rng.exponential(size=2000):
+            q.push(float(v))
+        heights = q._heights
+        assert all(a <= b + 1e-9 for a, b in zip(heights, heights[1:]))
+
+    @given(
+        p=st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tracks_true_quantile_on_gaussians(self, p, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(loc=10.0, scale=2.0, size=3000)
+        q = P2Quantile(p)
+        for v in values:
+            q.push(float(v))
+        truth = float(np.quantile(values, p))
+        assert q.value() == pytest.approx(truth, abs=0.4)

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListingCommands:
+    def test_methods(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "piecemeal-uniform" in out
+        assert "equidepth" in out
+        assert "ground truth" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("USAGE", "MGCTY", "ZIPF", "MULTIFRAC"):
+            assert name in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "F4" in out and "Figure 13" in out
+
+
+class TestRun:
+    def test_quick_figure_run(self, capsys):
+        code = main(
+            ["run", "F7", "--size", "400", "--methods", "piecemeal-uniform,equidepth"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "piecemeal-uniform" in out
+        assert "RMSE_n" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "F99"])
+
+
+class TestEstimate:
+    def test_min_query(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "ZIPF",
+                "--independent",
+                "min",
+                "--epsilon",
+                "1000",
+                "--size",
+                "500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MIN(x)" in out
+        assert "final RMSE_n" in out
+
+    def test_sliding_avg_query(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "MGCTY",
+                "--independent",
+                "avg",
+                "--window",
+                "100",
+                "--size",
+                "400",
+                "--method",
+                "piecemeal-uniform",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sliding w=100" in out
+
+    def test_two_sided_flag(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "USAGE",
+                "--independent",
+                "avg",
+                "--epsilon",
+                "5",
+                "--two-sided",
+                "--size",
+                "300",
+            ]
+        )
+        assert code == 0
+        assert "|x - AVG(x)| < 5" in capsys.readouterr().out
+
+    def test_invalid_query_is_reported_not_raised(self, capsys):
+        # MIN without epsilon is a configuration error -> exit code 2.
+        code = main(
+            ["estimate", "--dataset", "USAGE", "--independent", "min", "--size", "100"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

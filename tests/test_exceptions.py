@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyScopeError,
+    HistogramError,
+    ReproError,
+    StreamError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, StreamError, EmptyScopeError, HistogramError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_empty_scope_is_a_stream_error(self):
+        assert issubclass(EmptyScopeError, StreamError)
+
+    def test_single_catch_covers_library_failures(self):
+        from repro.core.query import CorrelatedQuery
+
+        with pytest.raises(ReproError):
+            CorrelatedQuery("count", "min")  # missing epsilon
+
+    def test_distinguishable(self):
+        # Configuration vs stream errors are separate branches: catching
+        # one must not swallow the other.
+        assert not issubclass(ConfigurationError, StreamError)
+        assert not issubclass(StreamError, ConfigurationError)

@@ -1,0 +1,102 @@
+"""Tests for estimator checkpoint/restore.
+
+The key invariant: resuming from a checkpoint must continue *identically*
+to an uninterrupted run — same outputs, bit for bit — for every estimator
+type, including the sliding ones (whose state includes the live window).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.engine import METHODS, build_estimator
+from repro.core.keyed import KeyedEstimatorBank
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import StreamError
+from repro.persistence import (
+    FORMAT_VERSION,
+    dumps_estimator,
+    load_estimator,
+    loads_estimator,
+    save_estimator,
+)
+from tests.conftest import make_records
+
+QUERIES = {
+    "lm-min": CorrelatedQuery("count", "min", epsilon=9.0),
+    "lm-avg": CorrelatedQuery("sum", "avg"),
+    "sw-min": CorrelatedQuery("count", "min", epsilon=9.0, window=40),
+    "sw-avg": CorrelatedQuery("count", "avg", window=40),
+}
+
+
+def _methods_for(key: str) -> list[str]:
+    if key.startswith("sw"):
+        base = ["piecemeal-uniform", "wholesale-quantile", "equidepth", "exact"]
+    else:
+        base = [
+            "piecemeal-uniform",
+            "wholesale-quantile",
+            "streaming-equidepth",
+            "equidepth",
+            "exact",
+        ]
+        base.append("heuristic-running" if "avg" in key else "heuristic-reset")
+    return base
+
+
+class TestResumeEquivalence:
+    @pytest.mark.parametrize("query_key", sorted(QUERIES))
+    def test_checkpoint_resume_is_bitwise_identical(self, rng, query_key):
+        query = QUERIES[query_key]
+        records = make_records(rng.uniform(1.0, 100.0, size=300))
+        for method in _methods_for(query_key):
+            uninterrupted = build_estimator(query, method, stream=records)
+            reference = [uninterrupted.update(r) for r in records]
+
+            first = build_estimator(query, method, stream=records)
+            for r in records[:150]:
+                first.update(r)
+            resumed = loads_estimator(dumps_estimator(first))
+            tail = [resumed.update(r) for r in records[150:]]
+            assert tail == reference[150:], method
+
+    def test_keyed_bank_checkpoints(self, rng):
+        bank = KeyedEstimatorBank(QUERIES["lm-min"])
+        records = make_records(rng.uniform(1.0, 100.0, size=100))
+        for i, r in enumerate(records):
+            bank.update(f"k{i % 3}", r)
+        restored = loads_estimator(dumps_estimator(bank))
+        assert restored.estimates() == bank.estimates()
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path, rng):
+        query = QUERIES["lm-avg"]
+        est = build_estimator(query, "piecemeal-uniform")
+        for r in make_records(rng.uniform(1.0, 50.0, size=80)):
+            est.update(r)
+        path = tmp_path / "checkpoint.bin"
+        save_estimator(est, path)
+        restored = load_estimator(path)
+        assert restored.estimate() == est.estimate()
+
+
+class TestHeaderValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(StreamError):
+            loads_estimator(b"definitely not a checkpoint")
+
+    def test_foreign_pickle_rejected(self):
+        with pytest.raises(StreamError):
+            loads_estimator(pickle.dumps({"some": "dict"}))
+
+    def test_future_format_rejected(self):
+        est = build_estimator(QUERIES["lm-min"], "heuristic-reset")
+        blob = dumps_estimator(est)
+        payload = pickle.loads(blob)
+        payload["format"] = FORMAT_VERSION + 1
+        with pytest.raises(StreamError):
+            loads_estimator(pickle.dumps(payload))
