@@ -27,6 +27,7 @@ from repro.core.engine import methods_for_query
 from repro.eval.experiments import EXPERIMENTS, PanelResult, run_experiment
 from repro.eval.report import (
     format_experiment_result,
+    format_obs_table,
     format_rmse_series_table,
     format_tracking_table,
 )
@@ -44,8 +45,14 @@ def bench_size() -> int | None:
 
 
 def regenerate(experiment_id: str, **kwargs: object) -> list[PanelResult]:
-    """Run one figure's experiment at full size and persist its tables."""
-    panels = run_experiment(experiment_id, size=bench_size(), **kwargs)
+    """Run one figure's experiment at full size and persist its tables.
+
+    Runs with instrumentation attached (``obs=True``), so each result file
+    also records per-update latency percentiles and the estimator lifecycle
+    event counts next to the accuracy tables.  Throughput benchmarks stay
+    sink-free — see :func:`throughput_case`.
+    """
+    panels = run_experiment(experiment_id, size=bench_size(), obs=True, **kwargs)
     spec = EXPERIMENTS[experiment_id]
 
     sections = [f"{spec.figure}: {spec.description}", "=" * 70]
@@ -62,6 +69,9 @@ def regenerate(experiment_id: str, **kwargs: object) -> list[PanelResult]:
         sections.append("")
         sections.append("Tracking the query answer (the figure's value curves):")
         sections.append(format_tracking_table(panel_result.results, checkpoints=10))
+        sections.append("")
+        sections.append("Instrumentation (per-update latency, lifecycle events):")
+        sections.append(format_obs_table(panel_result.results))
         sections.append("")
 
     text = "\n".join(sections)

@@ -26,7 +26,9 @@ from repro.core.keyed import KeyedEstimatorBank
 from repro.core.multiplex import QueryEngine
 from repro.core.parser import parse_query
 from repro.core.query import CorrelatedQuery
-from repro.streams.model import Record, materialize, run_stream
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import NULL_SINK, LoggingSink, NullSink, ObsSink, RecordingSink
+from repro.streams.model import Record, materialize, profile_stream, run_stream
 
 __version__ = "1.0.0"
 
@@ -42,5 +44,12 @@ __all__ = [
     "exact_series",
     "run_stream",
     "materialize",
+    "profile_stream",
+    "MetricsRegistry",
+    "ObsSink",
+    "NullSink",
+    "NULL_SINK",
+    "RecordingSink",
+    "LoggingSink",
     "__version__",
 ]

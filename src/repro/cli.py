@@ -11,7 +11,12 @@ Commands
     List the paper-figure experiment registry.
 ``run <ID>``
     Replay one paper figure (e.g. ``run F4 --size 2000``) and print its
-    accuracy tables.
+    accuracy tables; add ``--metrics`` for a per-method instrumentation
+    table (reallocation counts, per-update latency percentiles).
+``stats <ID>``
+    Replay one paper figure with full instrumentation and print every
+    metric per method — as a table, JSON, or Prometheus text exposition
+    (``--format``).
 ``estimate``
     Run one ad hoc correlated aggregate over a built-in data set and
     compare a method against the exact oracle, e.g.::
@@ -30,7 +35,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.core.engine import METHODS, build_estimator, methods_for_query
+from repro.core.engine import METHODS, methods_for_query
 from repro.core.exact import exact_series
 from repro.core.parser import parse_query
 from repro.core.query import CorrelatedQuery
@@ -39,11 +44,20 @@ from repro.eval.experiments import EXPERIMENTS, run_experiment
 from repro.eval.metrics import prefix_rmse_series, sliding_rmse_series
 from repro.eval.report import (
     format_experiment_result,
+    format_obs_table,
     format_rmse_series_table,
     format_table,
     format_tracking_table,
 )
 from repro.exceptions import ReproError
+from repro.obs.exposition import (
+    format_metrics_table,
+    render_json,
+    render_many_prometheus,
+)
+from repro.obs.sink import RecordingSink
+
+METRICS_FORMATS = ("table", "json", "prometheus")
 
 _METHOD_BLURBS = {
     "wholesale-uniform": "focused histogram, full re-partition, equal widths",
@@ -85,10 +99,40 @@ def _cmd_experiments(_: argparse.Namespace) -> int:
     return 0
 
 
+def _render_panel_metrics(panel_result, fmt: str) -> str:
+    """All metric registries of one panel, in the requested exposition."""
+    labelled = [
+        ({"dataset": panel_result.panel.dataset, "method": name}, result.obs.registry)
+        for name, result in panel_result.results.items()
+        if result.obs is not None
+    ]
+    if fmt == "prometheus":
+        return render_many_prometheus(labelled)
+    if fmt == "json":
+        import json
+
+        return json.dumps(
+            {
+                labels["method"]: registry.as_dict()
+                for labels, registry in labelled
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    sections = []
+    for labels, registry in labelled:
+        sections.append(f"-- {labels['method']} --\n{format_metrics_table(registry)}")
+    return "\n\n".join(sections)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     methods = args.methods.split(",") if args.methods else None
     panels = run_experiment(
-        args.experiment, size=args.size, methods=methods, num_buckets=args.buckets
+        args.experiment,
+        size=args.size,
+        methods=methods,
+        num_buckets=args.buckets,
+        obs=args.metrics,
     )
     spec = EXPERIMENTS[args.experiment]
     print(f"{spec.figure}: {spec.description}\n")
@@ -98,6 +142,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_experiment_result(title, panel_result.results))
         print()
         print(format_rmse_series_table(panel_result.results, checkpoints=args.checkpoints))
+        print()
+        if args.metrics:
+            if args.metrics_format == "table":
+                print(format_obs_table(panel_result.results))
+            else:
+                print(_render_panel_metrics(panel_result, args.metrics_format))
+            print()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    methods = args.methods.split(",") if args.methods else None
+    panels = run_experiment(
+        args.experiment,
+        size=args.size,
+        methods=methods,
+        num_buckets=args.buckets,
+        obs=True,
+    )
+    spec = EXPERIMENTS[args.experiment]
+    if args.format == "table":
+        print(f"{spec.figure}: {spec.description}\n")
+    for panel_result in panels:
+        if args.format == "table":
+            panel = panel_result.panel
+            print(f"[{panel.dataset}] {panel.query.describe()} (order={panel.ordering})")
+            print(format_obs_table(panel_result.results))
+            print()
+        print(_render_panel_metrics(panel_result, args.format))
         print()
     return 0
 
@@ -115,15 +188,16 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         )
     records = load_dataset(args.dataset, size=args.size)
     method = args.method or methods_for_query(query)[2]  # piecemeal-uniform
-    estimator = build_estimator(
-        query, method, num_buckets=args.buckets, stream=records
+    sink = RecordingSink() if args.metrics else None
+
+    from repro.eval.tracker import MethodResult, run_method
+
+    outputs = run_method(
+        records, query, method, num_buckets=args.buckets, sink=sink
     )
-    outputs = [estimator.update(r) for r in records]
     exact = exact_series(records, query)
 
     import numpy as np
-
-    from repro.eval.tracker import MethodResult
 
     out_arr = np.asarray(outputs)
     exact_arr = np.asarray(exact)
@@ -131,13 +205,26 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         series = sliding_rmse_series(out_arr, exact_arr, query.window)  # type: ignore[arg-type]
     else:
         series = prefix_rmse_series(out_arr, exact_arr)
-    result = MethodResult(method, out_arr, exact_arr, series)
+    result = MethodResult(method, out_arr, exact_arr, series, obs=sink)
 
     print(f"query  : {query.describe()}")
     print(f"stream : {args.dataset}, {len(records)} tuples")
     print(f"method : {method} (m={args.buckets})\n")
     print(format_tracking_table({method: result}, checkpoints=args.checkpoints))
     print(f"\nfinal RMSE_n: {result.final_rmse:.3f}")
+    if sink is not None:
+        print()
+        if args.metrics_format == "json":
+            print(render_json(sink.registry, extra={"method": method}))
+        elif args.metrics_format == "prometheus":
+            print(
+                render_many_prometheus([({"method": method}, sink.registry)]),
+                end="",
+            )
+        else:
+            print(format_obs_table({method: result}))
+            print()
+            print(format_metrics_table(sink.registry))
     return 0
 
 
@@ -165,7 +252,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--methods", default=None, help="comma-separated method subset")
     run.add_argument("--buckets", type=int, default=None, help="override bucket budget")
     run.add_argument("--checkpoints", type=int, default=10)
+    run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach instrumentation and print per-method metrics",
+    )
+    run.add_argument(
+        "--metrics-format",
+        default="table",
+        choices=list(METRICS_FORMATS),
+        dest="metrics_format",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    stats = sub.add_parser(
+        "stats", help="replay one paper figure with full instrumentation"
+    )
+    stats.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    stats.add_argument(
+        "--size", type=int, default=None, help="truncate streams to N tuples"
+    )
+    stats.add_argument("--methods", default=None, help="comma-separated method subset")
+    stats.add_argument("--buckets", type=int, default=None, help="override bucket budget")
+    stats.add_argument("--format", default="table", choices=list(METRICS_FORMATS))
+    stats.set_defaults(handler=_cmd_stats)
 
     est = sub.add_parser("estimate", help="ad hoc query over a built-in data set")
     est.add_argument(
@@ -184,6 +294,17 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--size", type=int, default=5000)
     est.add_argument("--buckets", type=int, default=10)
     est.add_argument("--checkpoints", type=int, default=10)
+    est.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach instrumentation and print the method's metrics",
+    )
+    est.add_argument(
+        "--metrics-format",
+        default="table",
+        choices=list(METRICS_FORMATS),
+        dest="metrics_format",
+    )
     est.set_defaults(handler=_cmd_estimate)
 
     return parser

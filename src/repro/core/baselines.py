@@ -23,6 +23,7 @@ from repro.histograms.bucket import Mass
 from repro.histograms.equidepth import EquidepthHistogram
 from repro.histograms.equiwidth import EquiwidthHistogram
 from repro.histograms.streaming_equidepth import StreamingEquidepthHistogram
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.streams.model import Record, ensure_finite
 from repro.structures.monotonic_deque import MonotonicDeque
 from repro.structures.ring_buffer import RingBuffer
@@ -32,8 +33,9 @@ from repro.structures.welford import RunningMoments
 class _TraditionalEstimator:
     """Shared scaffolding: exact independent aggregate + domain histogram."""
 
-    def __init__(self, query: CorrelatedQuery) -> None:
+    def __init__(self, query: CorrelatedQuery, sink: ObsSink | None = None) -> None:
         self._query = query
+        self._obs = sink if sink is not None else NULL_SINK
         self._count = 0
         if query.is_sliding:
             window = query.window
@@ -100,9 +102,18 @@ class _TraditionalEstimator:
         if evicted is not None:
             self._histogram_remove(evicted)
             self._count -= 1
+            if self._obs.enabled:
+                self._obs.emit("window.expire", count=1.0)
         self._histogram_add(record)
         self._count += 1
         return self.estimate()
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        state = {"live": float(self._count)}
+        if self._ring is not None:
+            state["ring"] = float(len(self._ring))
+        return state
 
     def estimate(self) -> float:
         """Current estimate of the correlated aggregate."""
@@ -139,13 +150,23 @@ class EquiwidthEstimator(_TraditionalEstimator):
     """
 
     def __init__(
-        self, query: CorrelatedQuery, num_buckets: int, domain: tuple[float, float]
+        self,
+        query: CorrelatedQuery,
+        num_buckets: int,
+        domain: tuple[float, float],
+        sink: ObsSink | None = None,
     ) -> None:
-        super().__init__(query)
+        super().__init__(query, sink=sink)
         low, high = domain
         if not high > low:
             raise ConfigurationError(f"need domain high > low, got {domain}")
         self._hist = EquiwidthHistogram(num_buckets, low, high)
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        state = super().obs_state()
+        state["buckets"] = float(self._hist.num_buckets)
+        return state
 
     def _histogram_add(self, record: Record) -> None:
         self._hist.add(record.x, record.y)
@@ -178,15 +199,26 @@ class StreamingEquidepthEstimator(_TraditionalEstimator):
     """
 
     def __init__(
-        self, query: CorrelatedQuery, num_buckets: int, eps: float = 0.01
+        self,
+        query: CorrelatedQuery,
+        num_buckets: int,
+        eps: float = 0.01,
+        sink: ObsSink | None = None,
     ) -> None:
         if query.is_sliding:
             raise ConfigurationError(
                 "streaming-equidepth is insert-only; sliding windows need the "
                 "offline equidepth baseline"
             )
-        super().__init__(query)
-        self._hist = StreamingEquidepthHistogram(num_buckets, eps=eps)
+        super().__init__(query, sink=sink)
+        self._hist = StreamingEquidepthHistogram(num_buckets, eps=eps, sink=sink)
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges, including the GK sketch footprint."""
+        state = super().obs_state()
+        state["buckets"] = float(self._hist.num_buckets)
+        state["gk_entries"] = float(self._hist.summary_entries)
+        return state
 
     def _histogram_add(self, record: Record) -> None:
         self._hist.add(record.x, record.y)
@@ -216,10 +248,20 @@ class EquidepthEstimator(_TraditionalEstimator):
     """
 
     def __init__(
-        self, query: CorrelatedQuery, num_buckets: int, universe: Iterable[float]
+        self,
+        query: CorrelatedQuery,
+        num_buckets: int,
+        universe: Iterable[float],
+        sink: ObsSink | None = None,
     ) -> None:
-        super().__init__(query)
+        super().__init__(query, sink=sink)
         self._hist = EquidepthHistogram(num_buckets, universe)
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        state = super().obs_state()
+        state["buckets"] = float(self._hist.num_buckets)
+        return state
 
     def _histogram_add(self, record: Record) -> None:
         self._hist.add(record.x, record.y)

@@ -24,7 +24,10 @@ Method names:
 
 from __future__ import annotations
 
+import difflib
+import inspect
 from collections.abc import Sequence
+from functools import lru_cache
 
 from repro.core.baselines import (
     EquidepthEstimator,
@@ -39,6 +42,7 @@ from repro.core.query import CorrelatedQuery
 from repro.core.sliding_avg import SlidingAvgEstimator
 from repro.core.sliding_extrema import SlidingExtremaEstimator
 from repro.exceptions import ConfigurationError
+from repro.obs.sink import ObsSink
 from repro.streams.model import Record, StreamAlgorithm
 
 #: The focused methods, in the paper's naming.
@@ -61,24 +65,99 @@ METHODS = FOCUSED_METHODS + (
 )
 
 
+#: Every estimator class the factory can instantiate; the union of their
+#: keyword options defines what :func:`build_estimator` accepts.
+_ESTIMATOR_CLASSES = (
+    LandmarkExtremaEstimator,
+    LandmarkAvgEstimator,
+    SlidingExtremaEstimator,
+    SlidingAvgEstimator,
+    EquiwidthEstimator,
+    EquidepthEstimator,
+    StreamingEquidepthEstimator,
+    ExtremaHeuristic,
+    AverageHeuristic,
+    ExactOracle,
+)
+
+#: Parameters the factory itself routes (never forwarded as-is).
+_FACTORY_PARAMS = frozenset(
+    {"num_buckets", "stream", "domain", "universe", "strategy", "policy", "variant"}
+)
+
+
+@lru_cache(maxsize=None)
+def _accepted_options(cls: type) -> frozenset[str]:
+    """Keyword options ``cls.__init__`` accepts (beyond self/query)."""
+    params = inspect.signature(cls.__init__).parameters
+    return frozenset(name for name in params if name not in ("self", "query"))
+
+
+@lru_cache(maxsize=1)
+def _known_options() -> frozenset[str]:
+    known = set(_FACTORY_PARAMS)
+    for cls in _ESTIMATOR_CLASSES:
+        known |= _accepted_options(cls)
+    return frozenset(known)
+
+
+def _validate_options(kwargs: dict[str, object]) -> None:
+    """Reject unknown configuration keys loudly (typos fail, not no-op)."""
+    known = _known_options()
+    for name in kwargs:
+        if name not in known:
+            hint = ""
+            close = difflib.get_close_matches(name, sorted(known), n=1)
+            if close:
+                hint = f"; did you mean {close[0]!r}?"
+            raise ConfigurationError(
+                f"unknown estimator option {name!r}{hint} "
+                f"(known options: {', '.join(sorted(known))})"
+            )
+
+
+def _options_for(
+    cls: type, kwargs: dict[str, object], exclude: tuple[str, ...] = ()
+) -> dict[str, object]:
+    """The subset of ``kwargs`` that ``cls`` accepts.
+
+    Cross-method sweeps pass one kwargs dict to every method; each class
+    picks up only the knobs it has (validation already rejected typos).
+    """
+    accepted = _accepted_options(cls)
+    return {k: v for k, v in kwargs.items() if k in accepted and k not in exclude}
+
+
+def derive_domain(stream: Sequence[Record]) -> tuple[float, float]:
+    """One scan over the stream: the padded a-priori domain ``(low, high)``.
+
+    Hoist this (and :func:`derive_universe`) out of per-method loops so the
+    stream is scanned once per evaluation instead of once per baseline.
+    """
+    if not stream:
+        raise ConfigurationError("derive_domain needs a non-empty stream")
+    low = min(r.x for r in stream)
+    high = max(r.x for r in stream)
+    if high <= low:  # constant stream: widen the domain minimally
+        pad = max(abs(low) * 1e-9, 1e-12)
+        low, high = low - pad, high + pad
+    return (low, high)
+
+
+def derive_universe(stream: Sequence[Record]) -> list[float]:
+    """One scan over the stream: every x value, for equidepth/exact."""
+    return [r.x for r in stream]
+
+
 def _build_focused(
     query: CorrelatedQuery, strategy: str, policy: str, num_buckets: int, **kwargs: object
 ) -> StreamAlgorithm:
     if query.independent in ("min", "max"):
-        if query.is_sliding:
-            return SlidingExtremaEstimator(
-                query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
-            )
-        return LandmarkExtremaEstimator(
-            query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
-        )
-    if query.is_sliding:
-        return SlidingAvgEstimator(
-            query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
-        )
-    return LandmarkAvgEstimator(
-        query, num_buckets=num_buckets, strategy=strategy, policy=policy, **kwargs
-    )
+        cls = SlidingExtremaEstimator if query.is_sliding else LandmarkExtremaEstimator
+    else:
+        cls = SlidingAvgEstimator if query.is_sliding else LandmarkAvgEstimator
+    options = _options_for(cls, kwargs, exclude=("num_buckets", "strategy", "policy"))
+    return cls(query, num_buckets=num_buckets, strategy=strategy, policy=policy, **options)
 
 
 def build_estimator(
@@ -88,6 +167,7 @@ def build_estimator(
     stream: Sequence[Record] | None = None,
     domain: tuple[float, float] | None = None,
     universe: Sequence[float] | None = None,
+    sink: ObsSink | None = None,
     **kwargs: object,
 ) -> StreamAlgorithm:
     """Construct a configured estimator for ``query``.
@@ -108,46 +188,56 @@ def build_estimator(
         A-priori value domain for ``equiwidth``.
     universe:
         All x values, for ``equidepth`` and ``exact``.
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink` attached to the
+        estimator's lifecycle events.
     kwargs:
-        Extra configuration forwarded to focused estimators (``k_std``,
-        ``num_intervals``, ``drift_tolerance``, ``swap_period``).
+        Extra configuration forwarded to the estimator (``k_std``,
+        ``num_intervals``, ``drift_tolerance``, ``swap_period``, ...).
+        Unknown keys raise :class:`~repro.exceptions.ConfigurationError`;
+        keys another method's estimator accepts are ignored here, so one
+        kwargs dict can drive a whole method sweep.
     """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; choose from {METHODS}")
+    kwargs = dict(kwargs)
+    _validate_options(kwargs)
+    if sink is not None:
+        kwargs["sink"] = sink
 
     if method in FOCUSED_METHODS:
         strategy, policy = method.split("-")
         return _build_focused(query, strategy, policy, num_buckets, **kwargs)
 
     if method == "streaming-equidepth":
-        return StreamingEquidepthEstimator(query, num_buckets, **kwargs)  # type: ignore[arg-type]
+        options = _options_for(StreamingEquidepthEstimator, kwargs)
+        return StreamingEquidepthEstimator(query, num_buckets, **options)  # type: ignore[arg-type]
 
     if method == "equiwidth":
         if domain is None:
             if stream is None:
                 raise ConfigurationError("equiwidth needs domain=(low, high) or stream=")
-            xs = [r.x for r in stream]
-            low, high = min(xs), max(xs)
-            if high <= low:  # constant stream: widen the domain minimally
-                pad = max(abs(low) * 1e-9, 1e-12)
-                low, high = low - pad, high + pad
-            domain = (low, high)
-        return EquiwidthEstimator(query, num_buckets, domain)
+            domain = derive_domain(stream)
+        options = _options_for(EquiwidthEstimator, kwargs, exclude=("domain",))
+        return EquiwidthEstimator(query, num_buckets, domain, **options)
 
     if method in ("equidepth", "exact"):
         if universe is None:
             if stream is None:
                 raise ConfigurationError(f"{method} needs universe= or stream=")
-            universe = [r.x for r in stream]
+            universe = derive_universe(stream)
         if method == "equidepth":
-            return EquidepthEstimator(query, num_buckets, universe)
-        return ExactOracle(query, universe)
+            options = _options_for(EquidepthEstimator, kwargs, exclude=("universe",))
+            return EquidepthEstimator(query, num_buckets, universe, **options)
+        options = _options_for(ExactOracle, kwargs, exclude=("universe",))
+        return ExactOracle(query, universe, **options)
 
     if method in ("heuristic-reset", "heuristic-continue"):
-        return ExtremaHeuristic(query, variant=method.split("-")[1])
+        options = _options_for(ExtremaHeuristic, kwargs, exclude=("variant",))
+        return ExtremaHeuristic(query, variant=method.split("-")[1], **options)
 
     # heuristic-running
-    return AverageHeuristic(query)
+    return AverageHeuristic(query, **_options_for(AverageHeuristic, kwargs))
 
 
 def methods_for_query(query: CorrelatedQuery, include_exact: bool = False) -> list[str]:

@@ -35,9 +35,14 @@ class ExactOracle:
         The :class:`~repro.core.query.CorrelatedQuery` to evaluate.
     universe:
         Every x value that will ever be pushed.
+    sink:
+        Accepted for interface parity with the estimators; the oracle has
+        no lifecycle events to emit (it is ground truth, not a summary).
     """
 
-    def __init__(self, query: CorrelatedQuery, universe: Iterable[float]) -> None:
+    def __init__(
+        self, query: CorrelatedQuery, universe: Iterable[float], sink: object | None = None
+    ) -> None:
         self._query = query
         self._index = OrderStatisticsIndex(universe)
         if query.is_sliding:
@@ -97,6 +102,13 @@ class ExactOracle:
             self._index.delete(evicted.x, evicted.y)
         self._index.insert(record.x, record.y)
         return self.estimate()
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        state = {"indexed": float(len(self._index))}
+        if self._ring is not None:
+            state["ring"] = float(len(self._ring))
+        return state
 
     def estimate(self) -> float:
         """Exact value of the dependent aggregate under the current scope."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.streams.model import Record, ensure_finite
 from repro.structures.welford import RunningMoments
 
@@ -38,7 +39,12 @@ class ExtremaHeuristic:
     *upper bound*.
     """
 
-    def __init__(self, query: CorrelatedQuery, variant: str = "reset") -> None:
+    def __init__(
+        self,
+        query: CorrelatedQuery,
+        variant: str = "reset",
+        sink: ObsSink | None = None,
+    ) -> None:
         if query.independent not in ("min", "max"):
             raise ConfigurationError(
                 f"ExtremaHeuristic needs a min/max query, got {query.independent!r}"
@@ -49,6 +55,7 @@ class ExtremaHeuristic:
             raise ConfigurationError(f"variant must be one of {VARIANTS}, got {variant!r}")
         self._query = query
         self._variant = variant
+        self._obs = sink if sink is not None else NULL_SINK
         self._extremum: float | None = None
         self._count = 0.0
         self._weight = 0.0
@@ -68,6 +75,10 @@ class ExtremaHeuristic:
         """Consume the next tuple; return the current estimate."""
         ensure_finite(record)
         if self._is_new_extremum(record.x):
+            if self._obs.enabled and self._extremum is not None:
+                self._obs.emit(
+                    "band.shift", drift=abs(record.x - self._extremum)
+                )
             self._extremum = record.x
             if self._variant == "reset":
                 self._count = 0.0
@@ -81,6 +92,10 @@ class ExtremaHeuristic:
         """Current value of the single accumulator."""
         return self._query.value_from(self._count, self._weight)
 
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges (a single accumulator — constant space)."""
+        return {"accumulated": self._count}
+
 
 class AverageHeuristic:
     """Accumulate tuples that beat the running mean at arrival time.
@@ -91,7 +106,7 @@ class AverageHeuristic:
     paper's Figure 8 demonstrates and its Figure 10 breaks.
     """
 
-    def __init__(self, query: CorrelatedQuery) -> None:
+    def __init__(self, query: CorrelatedQuery, sink: ObsSink | None = None) -> None:
         if query.independent != "avg":
             raise ConfigurationError(
                 f"AverageHeuristic needs an avg query, got {query.independent!r}"
@@ -99,6 +114,7 @@ class AverageHeuristic:
         if query.is_sliding:
             raise ConfigurationError("heuristics are landmark-scope estimators")
         self._query = query
+        self._obs = sink if sink is not None else NULL_SINK
         self._moments = RunningMoments()
         self._count = 0.0
         self._weight = 0.0
@@ -119,3 +135,7 @@ class AverageHeuristic:
     def estimate(self) -> float:
         """Current value of the single accumulator."""
         return self._query.value_from(self._count, self._weight)
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges (a single accumulator — constant space)."""
+        return {"accumulated": self._count}

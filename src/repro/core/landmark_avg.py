@@ -43,6 +43,7 @@ from repro.histograms.reallocate import (
     piecemeal_reallocate,
     wholesale_reallocate,
 )
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.streams.model import Record, ensure_finite
 from repro.structures.welford import RunningMoments
 
@@ -184,6 +185,10 @@ class LandmarkAvgEstimator:
         than this fraction of the mean inner bucket width.
     swap_period:
         Quantile-policy merge/split maintenance cadence (insertions).
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink` receiving lifecycle
+        events (``hist.build``, ``region.shift``, ``realloc.*``,
+        ``hist.swap``).
     """
 
     def __init__(
@@ -195,6 +200,7 @@ class LandmarkAvgEstimator:
         k_std: float = 3.0,
         drift_tolerance: float = 0.3,
         swap_period: int = 32,
+        sink: ObsSink | None = None,
     ) -> None:
         if query.independent != "avg":
             raise ConfigurationError(
@@ -223,6 +229,7 @@ class LandmarkAvgEstimator:
         self._k = k_std
         self._drift_tolerance = drift_tolerance
         self._swap_period = swap_period
+        self._obs = sink if sink is not None else NULL_SINK
 
         self._moments = RunningMoments()
         self._buffer: list[Record] | None = []
@@ -293,6 +300,8 @@ class LandmarkAvgEstimator:
         assert self._buffer is not None
         lo, hi = self._target_interval()
         self._inner = BucketArray(self._partition(lo, hi))
+        if self._obs.enabled:
+            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
         for record in self._buffer:
             self._route(record)
         self._buffer = None
@@ -317,7 +326,7 @@ class LandmarkAvgEstimator:
         if self._adds_since_swap >= self._swap_period:
             self._adds_since_swap = 0
             assert self._inner is not None
-            merge_split_swap(self._inner)
+            merge_split_swap(self._inner, sink=self._obs)
 
     def _should_reallocate(self, lo: float, hi: float) -> bool:
         # Both strategies gate on material drift: the mean moves a little
@@ -338,6 +347,15 @@ class LandmarkAvgEstimator:
         xmin, xmax = self._moments.minimum, self._moments.maximum
 
         disjoint = hi <= old_lo or lo >= old_hi
+        if self._obs.enabled:
+            # Threshold drift: how far the focus boundaries moved in total.
+            self._obs.emit(
+                "region.shift",
+                drift=abs(lo - old_lo) + abs(hi - old_hi),
+                low=lo,
+                high=hi,
+                disjoint=float(disjoint),
+            )
         if self._strategy == "wholesale" or disjoint:
             # Quantile policy partitions by the fitted normal (the paper's
             # strategy 2), so pass the edges explicitly.  A disjoint jump
@@ -347,11 +365,11 @@ class LandmarkAvgEstimator:
             # tails — where piecemeal truncation cannot.
             explicit = self._partition(lo, hi) if self._policy == "quantile" else None
             new_inner, spill_low, spill_high = wholesale_reallocate(
-                self._inner, lo, hi, self._inner_m, "uniform", edges=explicit
+                self._inner, lo, hi, self._inner_m, "uniform", edges=explicit, sink=self._obs
             )
         else:
             new_inner, spill_low, spill_high = piecemeal_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy
+                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
             )
 
         self._left_tail += spill_low
@@ -389,6 +407,14 @@ class LandmarkAvgEstimator:
             self._reallocate(lo, hi)
         self._route(record)
         return self.estimate()
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        return {
+            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
+            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
+            "tail_count": self._left_tail.count + self._right_tail.count,
+        }
 
     # -------------------------------------------------------------- answer
 

@@ -37,6 +37,7 @@ from repro.histograms.reallocate import (
     piecemeal_reallocate,
     wholesale_reallocate,
 )
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.streams.model import Record, ensure_finite
 
 STRATEGIES = ("wholesale", "piecemeal")
@@ -59,6 +60,10 @@ class LandmarkExtremaEstimator:
     swap_period:
         Under the quantile policy, attempt one merge/split swap every this
         many insertions (the paper's periodic rebalancing check).
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink` receiving lifecycle
+        events (``hist.build``, ``hist.reinit``, ``region.shift``,
+        ``realloc.*``, ``hist.swap``).
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class LandmarkExtremaEstimator:
         strategy: str = "piecemeal",
         policy: str = "uniform",
         swap_period: int = 32,
+        sink: ObsSink | None = None,
     ) -> None:
         if query.independent not in ("min", "max"):
             raise ConfigurationError(
@@ -91,6 +97,7 @@ class LandmarkExtremaEstimator:
         self._strategy = strategy
         self._policy = policy
         self._swap_period = swap_period
+        self._obs = sink if sink is not None else NULL_SINK
 
         self._extremum: float | None = None
         self._buffer: list[Record] | None = []  # warm-up; None once built
@@ -170,6 +177,8 @@ class LandmarkExtremaEstimator:
         for record in self._buffer:
             self._hist.add(record.x, record.y)
         self._buffer = None
+        if self._obs.enabled:
+            self._obs.emit("hist.build", buckets=float(self._m), low=low, high=high)
 
     # -------------------------------------------------------- steady state
 
@@ -177,15 +186,21 @@ class LandmarkExtremaEstimator:
         """condition_1: restart the histogram empty over the new region."""
         low, high = new_region
         self._hist = BucketArray(uniform_boundaries(low, high, self._m))
+        if self._obs.enabled:
+            self._obs.emit("hist.reinit", low=low, high=high)
 
     def _reallocate(self, new_region: tuple[float, float]) -> None:
         """condition_2: move the buckets; far-side spill is discarded."""
         assert self._hist is not None
         low, high = new_region
         if self._strategy == "wholesale":
-            self._hist, _, _ = wholesale_reallocate(self._hist, low, high, self._m, self._policy)
+            self._hist, _, _ = wholesale_reallocate(
+                self._hist, low, high, self._m, self._policy, sink=self._obs
+            )
         else:
-            self._hist, _, _ = piecemeal_reallocate(self._hist, low, high, self._m, self._policy)
+            self._hist, _, _ = piecemeal_reallocate(
+                self._hist, low, high, self._m, self._policy, sink=self._obs
+            )
 
     def _shift_region(self, x: float) -> None:
         assert self._region is not None
@@ -196,6 +211,20 @@ class LandmarkExtremaEstimator:
             disjoint = new_high <= old_low
         else:
             disjoint = new_low >= old_high
+        if self._obs.enabled:
+            # Threshold drift: how far the region's active edge moved.
+            drift = (
+                old_low - new_low
+                if self._query.independent == "min"
+                else new_high - old_high
+            )
+            self._obs.emit(
+                "region.shift",
+                drift=drift,
+                low=new_low,
+                high=new_high,
+                disjoint=float(disjoint),
+            )
         if disjoint:
             self._reinitialize(new_region)
         else:
@@ -229,7 +258,14 @@ class LandmarkExtremaEstimator:
         if self._adds_since_swap >= self._swap_period:
             self._adds_since_swap = 0
             assert self._hist is not None
-            merge_split_swap(self._hist)
+            merge_split_swap(self._hist, sink=self._obs)
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        return {
+            "buckets": float(self._hist.num_buckets) if self._hist is not None else 0.0,
+            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
+        }
 
     # -------------------------------------------------------------- answer
 

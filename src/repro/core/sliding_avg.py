@@ -30,6 +30,7 @@ from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
 from repro.histograms.maintenance import merge_split_swap
 from repro.histograms.partition import normal_quantile_boundaries, uniform_boundaries
 from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.streams.model import Record, ensure_finite
 from repro.structures.intervals import IntervalExtremaTracker
 from repro.structures.ring_buffer import RingBuffer
@@ -67,6 +68,10 @@ class SlidingAvgEstimator:
         O(w / period) amortised per tuple.  ``None`` (default) selects
         ``max(window // 10, num_buckets)``; 0 disables periodic rebuilds
         (regime-change rebuilds still apply).
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink` receiving lifecycle
+        events (``hist.build``, ``hist.rebuild``, ``region.shift``,
+        ``window.expire``, ``realloc.*``, ``hist.swap``).
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class SlidingAvgEstimator:
         drift_tolerance: float = 0.3,
         swap_period: int = 32,
         rebuild_period: int | None = None,
+        sink: ObsSink | None = None,
     ) -> None:
         if query.independent != "avg":
             raise ConfigurationError(
@@ -123,6 +129,7 @@ class SlidingAvgEstimator:
             raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
         self._rebuild_period = rebuild_period
         self._steps_since_rebuild = 0
+        self._obs = sink if sink is not None else NULL_SINK
 
         self._moments = RunningMoments()
         self._min_tracker = IntervalExtremaTracker(window, num_intervals, mode="min")
@@ -200,6 +207,8 @@ class SlidingAvgEstimator:
     def _build_histogram(self) -> None:
         lo, hi = self._target_interval()
         self._inner = BucketArray(self._partition(lo, hi))
+        if self._obs.enabled:
+            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
         for cell in self._ring:  # warm-up is shorter than the window
             cell[1] = self._route_add(cell[0])
         self._buffer = None
@@ -247,7 +256,7 @@ class SlidingAvgEstimator:
         if self._adds_since_swap >= self._swap_period:
             self._adds_since_swap = 0
             assert self._inner is not None
-            merge_split_swap(self._inner)
+            merge_split_swap(self._inner, sink=self._obs)
 
     def _should_reallocate(self, lo: float, hi: float) -> bool:
         assert self._inner is not None
@@ -264,7 +273,17 @@ class SlidingAvgEstimator:
 
         overlap = min(hi, old_hi) - max(lo, old_lo)
         union = max(hi, old_hi) - min(lo, old_lo)
-        if overlap <= 0.25 * union:
+        near_disjoint = overlap <= 0.25 * union
+        if self._obs.enabled:
+            # Threshold drift: how far the focus boundaries moved in total.
+            self._obs.emit(
+                "region.shift",
+                drift=abs(lo - old_lo) + abs(hi - old_hi),
+                low=lo,
+                high=hi,
+                disjoint=float(near_disjoint),
+            )
+        if near_disjoint:
             # Regime change: the focus either jumped past its old position
             # or exploded/collapsed in width (a dominant value entered or
             # left the window, blowing up the deviation).  This is the
@@ -272,17 +291,17 @@ class SlidingAvgEstimator:
             # the summary over the new region from the live window.
             # Incremental tail arithmetic would strand previously
             # correctly-classified mass on what is now the wrong side.
-            self._rebuild_from_window(lo, hi)
+            self._rebuild_from_window(lo, hi, reason="regime")
             return
 
         if self._strategy == "wholesale":
             explicit = self._partition(lo, hi) if self._policy == "quantile" else None
             new_inner, spill_low, spill_high = wholesale_reallocate(
-                self._inner, lo, hi, self._inner_m, "uniform", edges=explicit
+                self._inner, lo, hi, self._inner_m, "uniform", edges=explicit, sink=self._obs
             )
         else:
             new_inner, spill_low, spill_high = piecemeal_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy
+                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
             )
 
         self._left_tail += spill_low
@@ -307,12 +326,16 @@ class SlidingAvgEstimator:
 
         self._inner = new_inner
 
-    def _rebuild_from_window(self, lo: float, hi: float) -> None:
+    def _rebuild_from_window(self, lo: float, hi: float, reason: str = "regime") -> None:
         """Restart the summary over ``[lo, hi]`` from the live window.
 
         Runs in O(w), but only on disjoint focus jumps (rare regime
         changes); the per-tuple path stays O(m).
         """
+        if self._obs.enabled:
+            self._obs.emit(
+                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=float(len(self._ring))
+            )
         self._inner = BucketArray(self._partition(lo, hi))
         self._left_tail = ZERO_MASS
         self._right_tail = ZERO_MASS
@@ -342,15 +365,26 @@ class SlidingAvgEstimator:
         # `cell[1] is None` check avoids adding it twice.
         if evicted is not None:
             self._route_remove(evicted[0], evicted[1])
+            if self._obs.enabled:
+                self._obs.emit("window.expire", count=1.0, side=evicted[1])
         lo, hi = self._target_interval()
         self._steps_since_rebuild += 1
         if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
-            self._rebuild_from_window(lo, hi)
+            self._rebuild_from_window(lo, hi, reason="periodic")
         elif self._should_reallocate(lo, hi):
             self._reallocate(lo, hi)
         if cell[1] is None:
             cell[1] = self._route_add(record)
         return self.estimate()
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        return {
+            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
+            "ring": float(len(self._ring)),
+            "tail_count": self._left_tail.count + self._right_tail.count,
+            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
+        }
 
     # -------------------------------------------------------------- answer
 

@@ -31,6 +31,7 @@ from repro.histograms.maintenance import merge_split_swap
 from repro.histograms.partition import quantile_boundaries_from_values, uniform_boundaries
 from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
 from repro.core.landmark_avg import pour_uniform
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.streams.model import Record, ensure_finite
 from repro.structures.intervals import IntervalExtremaTracker
 from repro.structures.ring_buffer import RingBuffer
@@ -70,6 +71,10 @@ class SlidingExtremaEstimator:
         uniform re-sorts would erase the strategy/policy differences the
         estimator exists to study (near-disjoint-jump rebuilds still
         apply).
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink` receiving lifecycle
+        events (``hist.build``, ``hist.rebuild``, ``region.shift``,
+        ``window.expire``, ``realloc.*``, ``hist.swap``).
     """
 
     def __init__(
@@ -82,6 +87,7 @@ class SlidingExtremaEstimator:
         drift_tolerance: float = 0.0,
         swap_period: int = 32,
         rebuild_period: int | None = 0,
+        sink: ObsSink | None = None,
     ) -> None:
         if query.independent not in ("min", "max"):
             raise ConfigurationError(
@@ -125,6 +131,7 @@ class SlidingExtremaEstimator:
             raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
         self._rebuild_period = rebuild_period
         self._steps_since_rebuild = 0
+        self._obs = sink if sink is not None else NULL_SINK
 
         self._tracked = IntervalExtremaTracker(window, num_intervals, mode=self._mode)
         opposite = "max" if self._mode == "min" else "min"
@@ -205,6 +212,8 @@ class SlidingExtremaEstimator:
                 [r.x for r in self._buffer], self._inner_m, lo, hi
             )
         self._inner = BucketArray(edges)
+        if self._obs.enabled:
+            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
         for cell in self._ring:  # warm-up is shorter than the window
             cell[1] = self._route_add(cell[0])
         self._buffer = None
@@ -241,7 +250,7 @@ class SlidingExtremaEstimator:
         if self._adds_since_swap >= self._swap_period:
             self._adds_since_swap = 0
             assert self._inner is not None
-            merge_split_swap(self._inner)
+            merge_split_swap(self._inner, sink=self._obs)
 
     def _should_reallocate(self, lo: float, hi: float) -> bool:
         # The paper's condition: reallocate when the *extremum* (the active
@@ -268,21 +277,32 @@ class SlidingExtremaEstimator:
 
         overlap = min(hi, old_hi) - max(lo, old_lo)
         union = max(hi, old_hi) - min(lo, old_lo)
-        if overlap <= 0.25 * union:
+        near_disjoint = overlap <= 0.25 * union
+        if self._obs.enabled:
+            # Threshold drift: movement of the region's active edge.
+            drift = abs(lo - old_lo) if self._mode == "min" else abs(hi - old_hi)
+            self._obs.emit(
+                "region.shift",
+                drift=drift,
+                low=lo,
+                high=hi,
+                disjoint=float(near_disjoint),
+            )
+        if near_disjoint:
             # Disjoint or near-disjoint jump (a deep new extremum, or the
             # old one expired wholesale): the sliding analogue of the
             # paper's condition_1 — restart the summary over the new region
             # from the live window.
-            self._rebuild_from_window(lo, hi)
+            self._rebuild_from_window(lo, hi, reason="regime")
             return
 
         if self._strategy == "wholesale":
             new_inner, spill_low, spill_high = wholesale_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy
+                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
             )
         else:
             new_inner, spill_low, spill_high = piecemeal_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy
+                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
             )
 
         if self._mode == "min":
@@ -317,7 +337,7 @@ class SlidingExtremaEstimator:
 
         self._inner = new_inner
 
-    def _rebuild_from_window(self, lo: float, hi: float) -> None:
+    def _rebuild_from_window(self, lo: float, hi: float, reason: str = "regime") -> None:
         """Restart the summary over ``[lo, hi]`` from the live window.
 
         Runs in O(w), but only on rebuild events (near-disjoint jumps and
@@ -328,6 +348,10 @@ class SlidingExtremaEstimator:
         else:
             edges = quantile_boundaries_from_values(
                 [cell[0].x for cell in self._ring], self._inner_m, lo, hi
+            )
+        if self._obs.enabled:
+            self._obs.emit(
+                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=float(len(self._ring))
             )
         self._inner = BucketArray(edges)
         self._tail = ZERO_MASS
@@ -354,15 +378,26 @@ class SlidingExtremaEstimator:
         # adding it twice.
         if evicted is not None:
             self._route_remove(evicted[0], evicted[1])
+            if self._obs.enabled:
+                self._obs.emit("window.expire", count=1.0, side=evicted[1])
         lo, hi = self._target_interval()
         self._steps_since_rebuild += 1
         if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
-            self._rebuild_from_window(lo, hi)
+            self._rebuild_from_window(lo, hi, reason="periodic")
         elif self._should_reallocate(lo, hi):
             self._reallocate(lo, hi)
         if cell[1] is None:
             cell[1] = self._route_add(record)
         return self.estimate()
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        return {
+            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
+            "ring": float(len(self._ring)),
+            "tail_count": self._tail.count,
+            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
+        }
 
     # -------------------------------------------------------------- answer
 

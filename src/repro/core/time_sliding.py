@@ -33,6 +33,7 @@ from repro.exceptions import ConfigurationError, StreamError
 from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
 from repro.histograms.partition import uniform_boundaries
 from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.streams.model import Record, ensure_finite
 from repro.structures.time_intervals import TimeIntervalExtremaTracker
 from repro.structures.welford import RunningMoments
@@ -64,6 +65,10 @@ class TimeSlidingEstimator:
     rebuild_period:
         Re-sort from the live window every this many *tuples* (0 disables;
         regime-change rebuilds always apply).
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink` receiving lifecycle
+        events (``hist.rebuild``, ``region.shift``, ``window.expire``,
+        ``realloc.*``).
 
     Use :meth:`update` with an explicit timestamp::
 
@@ -81,6 +86,7 @@ class TimeSlidingEstimator:
         num_intervals: int = 10,
         drift_tolerance: float = 0.3,
         rebuild_period: int = 64,
+        sink: ObsSink | None = None,
     ) -> None:
         if query.is_sliding:
             raise ConfigurationError(
@@ -112,6 +118,7 @@ class TimeSlidingEstimator:
         self._drift_tolerance = drift_tolerance
         self._rebuild_period = rebuild_period
         self._steps_since_rebuild = 0
+        self._obs = sink if sink is not None else NULL_SINK
 
         self._min_tracker = TimeIntervalExtremaTracker(duration, num_intervals, "min")
         self._max_tracker = TimeIntervalExtremaTracker(duration, num_intervals, "max")
@@ -233,7 +240,11 @@ class TimeSlidingEstimator:
         deadband = self._drift_tolerance * bucket_width
         return abs(lo - self._inner.low) > deadband or abs(hi - self._inner.high) > deadband
 
-    def _rebuild_from_window(self, lo: float, hi: float) -> None:
+    def _rebuild_from_window(self, lo: float, hi: float, reason: str = "regime") -> None:
+        if self._obs.enabled:
+            self._obs.emit(
+                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=float(len(self._live))
+            )
         self._inner = BucketArray(uniform_boundaries(lo, hi, self._inner_m))
         self._left_tail = ZERO_MASS
         self._right_tail = ZERO_MASS
@@ -246,17 +257,27 @@ class TimeSlidingEstimator:
         old_lo, old_hi = self._inner.low, self._inner.high
         overlap = min(hi, old_hi) - max(lo, old_lo)
         union = max(hi, old_hi) - min(lo, old_lo)
-        if overlap <= 0.25 * union:
-            self._rebuild_from_window(lo, hi)
+        near_disjoint = overlap <= 0.25 * union
+        if self._obs.enabled:
+            # Threshold drift: how far the focus boundaries moved in total.
+            self._obs.emit(
+                "region.shift",
+                drift=abs(lo - old_lo) + abs(hi - old_hi),
+                low=lo,
+                high=hi,
+                disjoint=float(near_disjoint),
+            )
+        if near_disjoint:
+            self._rebuild_from_window(lo, hi, reason="regime")
             return
         xmin, xmax = self._span()
         if self._strategy == "wholesale":
             new_inner, spill_low, spill_high = wholesale_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy
+                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
             )
         else:
             new_inner, spill_low, spill_high = piecemeal_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy
+                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
             )
         self._left_tail += spill_low
         self._right_tail += spill_high
@@ -302,6 +323,8 @@ class TimeSlidingEstimator:
             self._moments = RunningMoments()
             for _, record, _ in self._live:
                 self._moments.push(record.x)
+        if removed > 0 and self._obs.enabled:
+            self._obs.emit("window.expire", count=float(removed))
 
     def update(self, time: float, record: Record) -> float:
         """Consume one timestamped tuple; return the current estimate.
@@ -329,18 +352,26 @@ class TimeSlidingEstimator:
 
         if self._inner is None:
             if len(self._live) >= self._warmup_target:
-                self._rebuild_from_window(*self._target_interval())
+                self._rebuild_from_window(*self._target_interval(), reason="warmup")
             return self.estimate()
 
         lo, hi = self._target_interval()
         self._steps_since_rebuild += 1
         if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
-            self._rebuild_from_window(lo, hi)
+            self._rebuild_from_window(lo, hi, reason="periodic")
         elif self._should_reallocate(lo, hi):
             self._reallocate(lo, hi)
         if cell[2] is None:
             cell[2] = self._route_add(record)
         return self.estimate()
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        return {
+            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
+            "live": float(len(self._live)),
+            "tail_count": self._left_tail.count + self._right_tail.count,
+        }
 
     # -------------------------------------------------------------- answer
 

@@ -177,6 +177,7 @@ def run_experiment(
     size: int | None = None,
     methods: Sequence[str] | None = None,
     num_buckets: int | None = None,
+    obs: bool = False,
     **kwargs: object,
 ) -> list[PanelResult]:
     """Execute one experiment; returns one :class:`PanelResult` per panel.
@@ -191,6 +192,9 @@ def run_experiment(
         Restrict to a subset of methods (default: all applicable).
     num_buckets:
         Override the spec's bucket budget.
+    obs:
+        Attach a recording sink per method (lifecycle events, per-update
+        latency); each result carries it in ``.obs``.
     kwargs:
         Extra configuration for focused estimators.
     """
@@ -206,7 +210,7 @@ def run_experiment(
         records = panel.load(size=size)
         wanted = list(methods) if methods is not None else methods_for_query(panel.query)
         results = evaluate_methods(
-            records, panel.query, methods=wanted, num_buckets=buckets, **kwargs
+            records, panel.query, methods=wanted, num_buckets=buckets, obs=obs, **kwargs
         )
         panel_results.append(PanelResult(panel=panel, results=results))
     return panel_results

@@ -68,6 +68,58 @@ def format_tracking_table(
     return format_table(headers, rows)
 
 
+def format_obs_table(results: dict[str, MethodResult]) -> str:
+    """Per-method instrumentation summary: latency percentiles and events.
+
+    One row per method run with ``obs=True``: p50/p95/p99 per-update
+    latency in microseconds, reallocation counts (wholesale / piecemeal),
+    rebuilds, merge/split swaps, window expiries, and GK compressions.
+    Methods without an attached sink are skipped.
+    """
+    from repro.eval.tracker import UPDATE_TIMER  # local: avoid cycle at import
+
+    headers = [
+        "method",
+        "p50 us",
+        "p95 us",
+        "p99 us",
+        "realloc(w)",
+        "realloc(p)",
+        "rebuilds",
+        "swaps",
+        "expiries",
+        "gk",
+    ]
+    rows = []
+    for name, result in results.items():
+        sink = result.obs
+        if sink is None:
+            continue
+        registry = sink.registry
+        timer = registry.get(UPDATE_TIMER)
+        if timer is not None:
+            lat = [f"{timer.percentile(p) / 1000.0:.1f}" for p in (50.0, 95.0, 99.0)]
+        else:
+            lat = ["-", "-", "-"]
+        expiries = registry.get("window.expire.count")
+        expired = f"{expiries.total:g}" if expiries is not None else "0"
+        rows.append(
+            [
+                name,
+                *lat,
+                f"{sink.count('realloc.wholesale'):g}",
+                f"{sink.count('realloc.piecemeal'):g}",
+                f"{sink.count('hist.rebuild') + sink.count('hist.reinit'):g}",
+                f"{sink.count('hist.swap'):g}",
+                expired,
+                f"{sink.count('gk.compress'):g}",
+            ]
+        )
+    if not rows:
+        return "(no instrumentation attached; run with obs enabled)"
+    return format_table(headers, rows)
+
+
 def format_rmse_series_table(
     results: dict[str, MethodResult],
     checkpoints: int = 10,

@@ -4,12 +4,21 @@ The tracker is the glue between the estimator factory and the metrics: it
 replays one recorded stream through one or many methods, computes the exact
 series once, and packages the output/error series the figures and tests
 consume.
+
+With ``obs=True`` each method additionally gets a
+:class:`~repro.obs.sink.RecordingSink` attached: lifecycle events aggregate
+into a per-method :class:`~repro.obs.registry.MetricsRegistry`, every
+``estimator.update`` call is clocked with :func:`time.perf_counter_ns` into
+the ``update.latency_ns`` timer, and the estimator's final ``obs_state()``
+gauges are copied in under ``state.<key>``.  The whole apparatus is skipped
+when ``obs`` is False, so the default path pays nothing.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 
 import numpy as np
 
@@ -18,7 +27,17 @@ from repro.core.exact import exact_series
 from repro.core.query import CorrelatedQuery
 from repro.eval.metrics import prefix_rmse_series, rmse, sliding_rmse_series
 from repro.exceptions import ConfigurationError
-from repro.streams.model import Record
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import ObsSink, RecordingSink
+from repro.streams.model import Record, StreamAlgorithm
+
+#: Methods whose construction scans the stream for offline knowledge
+#: (equiwidth's domain, equidepth's and exact's universe).  The tracker
+#: derives that knowledge once per evaluation and shares it.
+_OFFLINE_METHODS = ("equiwidth", "equidepth", "exact")
+
+#: Timer name under which per-update latencies are recorded.
+UPDATE_TIMER = "update.latency_ns"
 
 
 @dataclass
@@ -29,6 +48,7 @@ class MethodResult:
     outputs: np.ndarray
     exact: np.ndarray
     rmse_series: np.ndarray = field(repr=False)
+    obs: RecordingSink | None = field(default=None, repr=False)
 
     @property
     def final_rmse(self) -> float:
@@ -40,21 +60,60 @@ class MethodResult:
         """Plain RMSE over the whole series."""
         return rmse(self.outputs, self.exact)
 
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The method's metrics registry (None when run without obs)."""
+        return self.obs.registry if self.obs is not None else None
+
+
+def _replay(
+    estimator: StreamAlgorithm,
+    records: Sequence[Record],
+    registry: MetricsRegistry | None = None,
+) -> list[float]:
+    """Drive every record through ``estimator``; optionally clock each update."""
+    update = estimator.update
+    if registry is None:
+        return [update(r) for r in records]
+    observe = registry.timer(UPDATE_TIMER).observe_ns
+    outputs = []
+    append = outputs.append
+    for r in records:
+        start = perf_counter_ns()
+        value = update(r)
+        observe(perf_counter_ns() - start)
+        append(value)
+    return outputs
+
+
+def _snapshot_state(estimator: object, registry: MetricsRegistry) -> None:
+    """Copy the estimator's live-size gauges into ``state.<key>``."""
+    state_fn = getattr(estimator, "obs_state", None)
+    if state_fn is None:
+        return
+    for key, value in state_fn().items():
+        registry.gauge(f"state.{key}").set(value)
+
 
 def run_method(
     records: Sequence[Record],
     query: CorrelatedQuery,
     method: str,
     num_buckets: int = 10,
+    sink: ObsSink | None = None,
     **kwargs: object,
 ) -> list[float]:
     """Replay ``records`` through one method; return its output series."""
     if not records:
         raise ConfigurationError("run_method needs a non-empty stream")
     estimator = build_estimator(
-        query, method, num_buckets=num_buckets, stream=records, **kwargs
+        query, method, num_buckets=num_buckets, stream=records, sink=sink, **kwargs
     )
-    return [estimator.update(r) for r in records]
+    registry = sink.registry if isinstance(sink, RecordingSink) else None
+    outputs = _replay(estimator, records, registry)
+    if registry is not None:
+        _snapshot_state(estimator, registry)
+    return outputs
 
 
 def evaluate_methods(
@@ -63,6 +122,7 @@ def evaluate_methods(
     methods: Sequence[str] | None = None,
     num_buckets: int = 10,
     exact: Sequence[float] | None = None,
+    obs: bool = False,
     **kwargs: object,
 ) -> dict[str, MethodResult]:
     """Replay ``records`` through several methods against the exact oracle.
@@ -79,27 +139,64 @@ def evaluate_methods(
         Bucket budget for histogram methods.
     exact:
         Precomputed exact series (recomputed once here when omitted).
+    obs:
+        Attach a :class:`~repro.obs.sink.RecordingSink` per method and
+        profile per-update latency; results carry the sink in ``.obs``.
     kwargs:
         Extra configuration for focused estimators.
     """
+    if not records:
+        raise ConfigurationError("evaluate_methods needs a non-empty stream")
     if methods is None:
         methods = methods_for_query(query)
     reference = np.asarray(
         exact if exact is not None else exact_series(records, query), dtype=np.float64
     )
+
+    # Offline knowledge (domain/universe) is derived in ONE scan here and
+    # shared, instead of once per baseline inside build_estimator.
+    offline = [m for m in methods if m in _OFFLINE_METHODS]
+    universe: list[float] | None = None
+    domain: tuple[float, float] | None = None
+    scans_saved = 0
+    if offline:
+        universe = [r.x for r in records]
+        low, high = min(universe), max(universe)
+        if high <= low:  # constant stream: widen the domain minimally
+            pad = max(abs(low) * 1e-9, 1e-12)
+            low, high = low - pad, high + pad
+        domain = (low, high)
+        scans_saved = len(offline) - 1
+
     window = query.window
     results: dict[str, MethodResult] = {}
     for method in methods:
-        outputs = np.asarray(
-            run_method(records, query, method, num_buckets=num_buckets, **kwargs),
-            dtype=np.float64,
+        sink = RecordingSink() if obs else None
+        estimator = build_estimator(
+            query,
+            method,
+            num_buckets=num_buckets,
+            stream=records,
+            domain=domain,
+            universe=universe,
+            sink=sink,
+            **kwargs,
         )
+        registry = sink.registry if sink is not None else None
+        outputs = np.asarray(_replay(estimator, records, registry), dtype=np.float64)
+        if registry is not None:
+            _snapshot_state(estimator, registry)
+            registry.counter("eval.domain_scans_saved").inc(float(scans_saved))
         if query.is_sliding:
             assert window is not None
             series = sliding_rmse_series(outputs, reference, window)
         else:
             series = prefix_rmse_series(outputs, reference)
         results[method] = MethodResult(
-            method=method, outputs=outputs, exact=reference, rmse_series=series
+            method=method,
+            outputs=outputs,
+            exact=reference,
+            rmse_series=series,
+            obs=sink,
         )
     return results

@@ -15,6 +15,7 @@ and performs the swap only when there is a net gain.
 from __future__ import annotations
 
 from repro.histograms.bucket import BucketArray
+from repro.obs.sink import ObsSink
 
 
 def variance_of_frequencies(histogram: BucketArray) -> float:
@@ -25,7 +26,14 @@ def variance_of_frequencies(histogram: BucketArray) -> float:
     return sum((c - mean) ** 2 for c in counts) / m
 
 
-def merge_split_swap(histogram: BucketArray, min_gain: float = 0.0) -> bool:
+def _report(sink: ObsSink | None, performed: bool, gain: float) -> None:
+    if sink is not None and sink.enabled:
+        sink.emit("hist.swap", performed=float(performed), gain=gain)
+
+
+def merge_split_swap(
+    histogram: BucketArray, min_gain: float = 0.0, sink: ObsSink | None = None
+) -> bool:
     """Try one merge+split swap; mutate ``histogram`` and report success.
 
     The candidate merge is the adjacent pair with the smallest combined
@@ -34,18 +42,24 @@ def merge_split_swap(histogram: BucketArray, min_gain: float = 0.0) -> bool:
     projected ``Var(H)`` decreases by more than ``min_gain`` and the merge
     pair does not contain the split bucket (they would cancel out).
 
+    Every decision — performed or declined, with the projected variance
+    gain — is emitted as a ``hist.swap`` event on ``sink``.
+
     Returns True when a swap was performed.
     """
     counts = histogram.counts
     m = len(counts)
     if m < 3:
+        _report(sink, False, 0.0)
         return False
 
     merge_index = min(range(m - 1), key=lambda i: counts[i] + counts[i + 1])
     split_index = max(range(m), key=lambda i: counts[i])
     if split_index in (merge_index, merge_index + 1):
+        _report(sink, False, 0.0)
         return False
     if counts[split_index] <= 0.0:
+        _report(sink, False, 0.0)
         return False
 
     current = variance_of_frequencies(histogram)
@@ -67,7 +81,9 @@ def merge_split_swap(histogram: BucketArray, min_gain: float = 0.0) -> bool:
     mean = sum(projected) / m
     new_variance = sum((c - mean) ** 2 for c in projected) / m
 
-    if current - new_variance <= min_gain:
+    gain = current - new_variance
+    if gain <= min_gain:
+        _report(sink, False, gain)
         return False
 
     # Apply: split first if it sits left of the merge pair, so indices of
@@ -78,4 +94,5 @@ def merge_split_swap(histogram: BucketArray, min_gain: float = 0.0) -> bool:
     else:
         histogram.merge_buckets(merge_index)
         histogram.split_bucket(split_index - 1)
+    _report(sink, True, gain)
     return True

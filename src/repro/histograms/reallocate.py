@@ -19,6 +19,13 @@ a new one plus the *spilled* mass that fell outside ``[a', b']``.  Callers
 decide what to do with spill — the extrema estimators discard it
 (monotonicity: it can never qualify again), the AVG estimators pour it into
 their tail buckets.
+
+Both accept an optional :class:`~repro.obs.sink.ObsSink` and report what
+they did: one ``realloc.wholesale`` event per call (every bucket is
+re-interpolated, so ``buckets_moved`` equals the budget), or a
+``realloc.piecemeal`` summary plus one ``realloc.merge`` / ``realloc.split``
+event per budget-restoring operation (``buckets_moved`` counts only the
+buckets actually touched — the strategies' cost asymmetry, measurable).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from __future__ import annotations
 from repro.exceptions import ConfigurationError
 from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
 from repro.histograms.partition import quantile_boundaries_from_histogram, uniform_boundaries
+from repro.obs.sink import ObsSink
 
 POLICIES = ("uniform", "quantile")
 
@@ -46,6 +54,7 @@ def wholesale_reallocate(
     num_buckets: int,
     policy: str = "uniform",
     edges: list[float] | None = None,
+    sink: ObsSink | None = None,
 ) -> tuple[BucketArray, Mass, Mass]:
     """Re-partition ``[new_low, new_high]`` and redistribute all old mass.
 
@@ -74,6 +83,16 @@ def wholesale_reallocate(
 
     spill_low = old.estimate_between(old.low, new_low) if new_low > old.low else ZERO_MASS
     spill_high = old.estimate_between(new_high, old.high) if new_high < old.high else ZERO_MASS
+    if sink is not None and sink.enabled:
+        sink.emit(
+            "realloc.wholesale",
+            old_low=old.low,
+            old_high=old.high,
+            new_low=new_low,
+            new_high=new_high,
+            buckets_moved=float(num_buckets),
+            spill_count=spill_low.count + spill_high.count,
+        )
     return new, spill_low, spill_high
 
 
@@ -83,6 +102,7 @@ def piecemeal_reallocate(
     new_high: float,
     num_buckets: int,
     policy: str = "uniform",
+    sink: ObsSink | None = None,
 ) -> tuple[BucketArray, Mass, Mass]:
     """Truncate/extend the existing buckets, then restore the bucket budget.
 
@@ -101,24 +121,54 @@ def piecemeal_reallocate(
             "a disjoint shift is the paper's condition_1 (reinitialise instead)"
         )
 
+    tracing = sink is not None and sink.enabled
+    boundary_moves = 0  # truncations + extensions: buckets interpolated/created
+
     new = old.copy()
     spill_high = new.truncate_above(new_high) if new_high < new.high else ZERO_MASS
     spill_low = new.truncate_below(new_low) if new_low > new.low else ZERO_MASS
+    if spill_high is not ZERO_MASS:
+        boundary_moves += 1
+    if spill_low is not ZERO_MASS:
+        boundary_moves += 1
     if new_low < new.low:
         new.extend_low(new_low)
+        boundary_moves += 1
     if new_high > new.high:
         new.extend_high(new_high)
+        boundary_moves += 1
 
+    merges = 0
+    splits = 0
     while new.num_buckets > num_buckets:
-        new.merge_buckets(_best_merge_index(new, policy))
+        index = _best_merge_index(new, policy)
+        new.merge_buckets(index)
+        merges += 1
+        if tracing:
+            sink.emit("realloc.merge", index=float(index))  # type: ignore[union-attr]
     while new.num_buckets < num_buckets:
         if policy == "uniform":
-            new.split_bucket(new.widest_bucket())
+            index = new.widest_bucket()
         else:
             index = new.heaviest_bucket()
             if new.counts[index] <= 0.0:
                 index = new.widest_bucket()
-            new.split_bucket(index)
+        new.split_bucket(index)
+        splits += 1
+        if tracing:
+            sink.emit("realloc.split", index=float(index))  # type: ignore[union-attr]
+    if tracing:
+        sink.emit(  # type: ignore[union-attr]
+            "realloc.piecemeal",
+            old_low=old.low,
+            old_high=old.high,
+            new_low=new_low,
+            new_high=new_high,
+            buckets_moved=float(boundary_moves + merges + splits),
+            merges=float(merges),
+            splits=float(splits),
+            spill_count=spill_low.count + spill_high.count,
+        )
     return new, spill_low, spill_high
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.exceptions import ConfigurationError, StreamError
 from repro.histograms.bucket import BucketArray, Mass
+from repro.obs.sink import NULL_SINK, ObsSink
 from repro.structures.gk_quantiles import GKQuantileSummary
 
 
@@ -42,7 +43,11 @@ class StreamingEquidepthHistogram:
     """
 
     def __init__(
-        self, num_buckets: int, eps: float = 0.01, refresh_period: int = 256
+        self,
+        num_buckets: int,
+        eps: float = 0.01,
+        refresh_period: int = 256,
+        sink: ObsSink | None = None,
     ) -> None:
         if num_buckets <= 0:
             raise ConfigurationError(f"num_buckets must be positive, got {num_buckets}")
@@ -51,7 +56,8 @@ class StreamingEquidepthHistogram:
                 f"refresh_period must be positive, got {refresh_period}"
             )
         self._m = num_buckets
-        self._summary = GKQuantileSummary(eps=eps)
+        self._obs = sink if sink is not None else NULL_SINK
+        self._summary = GKQuantileSummary(eps=eps, sink=sink)
         self._refresh_period = refresh_period
         self._since_refresh = 0
         self._buckets: BucketArray | None = None
@@ -97,9 +103,21 @@ class StreamingEquidepthHistogram:
             repaired.append(edge)
         return repaired
 
+    @property
+    def summary_entries(self) -> int:
+        """Live GK summary size (the sketch's actual state footprint)."""
+        return len(self._summary)
+
     def _refresh(self) -> None:
         self._since_refresh = 0
         edges = self._edges()
+        if self._obs.enabled:
+            self._obs.emit(
+                "hist.refresh",
+                buckets=float(self._m),
+                n=float(self._summary.count),
+                gk_entries=float(len(self._summary)),
+            )
         new = BucketArray(edges)
         if self._buckets is None:
             for x, y in self._pending:

@@ -1,0 +1,54 @@
+"""repro.obs — the instrumentation layer.
+
+A metrics registry (:class:`MetricsRegistry` with counters, gauges,
+histograms, timers), a structured event-tracing protocol
+(:class:`ObsSink`, with null / recording / logging implementations), and
+text expositions (table, JSON, Prometheus).
+
+Every estimator accepts ``sink=`` and reports its adaptive behaviour
+through it; with the default :data:`NULL_SINK` the instrumentation costs
+one attribute load and branch per potential event site.  See
+``docs/OBSERVABILITY.md`` for the event catalogue and usage recipes.
+"""
+
+from repro.obs.exposition import (
+    format_metrics_table,
+    render_json,
+    render_many_prometheus,
+    render_prometheus,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.sink import (
+    NULL_SINK,
+    LoggingSink,
+    NullSink,
+    ObsEvent,
+    ObsSink,
+    RecordingSink,
+    TeeSink,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "ObsEvent",
+    "ObsSink",
+    "NullSink",
+    "NULL_SINK",
+    "RecordingSink",
+    "LoggingSink",
+    "TeeSink",
+    "format_metrics_table",
+    "render_json",
+    "render_prometheus",
+    "render_many_prometheus",
+]

@@ -1,0 +1,123 @@
+"""Exposition formats for a :class:`~repro.obs.registry.MetricsRegistry`.
+
+Three renderings, matching the three consumers:
+
+* :func:`format_metrics_table` — right-aligned monospace table for the CLI
+  and the benchmark result files;
+* :func:`render_json` — machine-readable dump for piping into other tools;
+* :func:`render_prometheus` — Prometheus text exposition (counters as
+  ``_total``, histograms/timers as summaries with quantile labels), so a
+  scraper pointed at a dumped file ingests the run without translation.
+
+This module depends only on the registry — no imports from ``repro.core``
+or ``repro.eval`` — so every layer of the library can render metrics
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Mapping, Sequence
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def format_metrics_table(registry: MetricsRegistry) -> str:
+    """One row per metric: name, kind, and a value/summary column."""
+    headers = ("metric", "kind", "value")
+    rows: list[tuple[str, str, str]] = []
+    for metric in registry:
+        if isinstance(metric, (Counter, Gauge)):
+            rendered = _format_value(metric.value)
+        else:
+            summary = metric.summary()
+            rendered = (
+                f"n={summary['count']:g} mean={summary['mean']:.4g} "
+                f"p50={summary['p50']:.4g} p95={summary['p95']:.4g} "
+                f"p99={summary['p99']:.4g}"
+            )
+        rows.append((metric.name, metric.kind, rendered))
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(3)
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(3)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(3)),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(3)).rstrip())
+    return "\n".join(lines)
+
+
+def render_json(
+    registry: MetricsRegistry, extra: Mapping[str, object] | None = None
+) -> str:
+    """JSON document of the registry snapshot (plus optional metadata)."""
+    document: dict[str, object] = dict(extra) if extra else {}
+    document["metrics"] = registry.as_dict()
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return _PROM_INVALID.sub("_", f"{prefix}_{name}")
+
+
+def _prom_labels(labels: Mapping[str, str] | None, extra: str | None = None) -> str:
+    parts = [f'{_PROM_INVALID.sub("_", k)}="{v}"' for k, v in (labels or {}).items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """Prometheus text-format exposition of the registry.
+
+    Counters render as ``<prefix>_<name>_total``; gauges as plain samples;
+    histograms and timers as summaries (quantile-labelled samples plus
+    ``_sum`` and ``_count``).  Metric names have non-alphanumerics folded
+    to underscores per the Prometheus data model.
+    """
+    lines: list[str] = []
+    for metric in registry:
+        name = _prom_name(metric.name, prefix)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name}_total counter")
+            lines.append(f"{name}_total{_prom_labels(labels)} {metric.value:g}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_prom_labels(labels)} {metric.value:g}")
+        else:  # Histogram / Timer -> summary
+            summary = metric.summary()
+            lines.append(f"# TYPE {name} summary")
+            for quantile in ("p50", "p95", "p99"):
+                q = float(quantile[1:]) / 100.0
+                sample = _prom_labels(labels, f'quantile="{q:g}"')
+                lines.append(f"{name}{sample} {summary[quantile]:g}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} {summary['total']:g}")
+            lines.append(f"{name}_count{_prom_labels(labels)} {summary['count']:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_many_prometheus(
+    registries: Sequence[tuple[Mapping[str, str], MetricsRegistry]],
+    prefix: str = "repro",
+) -> str:
+    """Concatenate several labelled registries into one exposition."""
+    return "".join(
+        render_prometheus(registry, prefix=prefix, labels=dict(labels))
+        for labels, registry in registries
+    )

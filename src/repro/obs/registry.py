@@ -1,0 +1,267 @@
+"""A lightweight in-process metrics registry.
+
+Four metric kinds cover everything the estimators report:
+
+* :class:`Counter` — monotonically increasing totals (reallocations fired,
+  GK compressions, saved domain scans);
+* :class:`Gauge` — last-written values (live bucket count, ring length);
+* :class:`Histogram` — distributions of observed magnitudes (threshold
+  drift, buckets moved per reallocation), with exact percentiles over the
+  retained observations;
+* :class:`Timer` — a histogram of durations in nanoseconds with a
+  context-manager interface around :func:`time.perf_counter_ns`.
+
+The registry creates metrics on first use and is deliberately not
+thread-safe: one registry per estimator run is the intended granularity
+(the tracker attaches a fresh one per method), matching the single-threaded
+stream computation model.
+
+Overhead discipline: nothing here sits on an estimator's hot path.  The
+estimators talk to an :class:`~repro.obs.sink.ObsSink`; metric objects are
+only touched when a *recording* sink is installed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator
+
+from repro.exceptions import ConfigurationError
+
+#: Percentiles reported by :meth:`Histogram.summary` (and hence every
+#: exposition format).  p50/p95/p99 are the per-update latency trio the
+#: benchmark harness prints.
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters only go up)."""
+        if amount < 0.0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self._value += amount
+
+    def as_value(self) -> float:
+        """Exposition value: the running total."""
+        return self._value
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by ``amount``."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by ``amount``."""
+        self._value -= amount
+
+    def as_value(self) -> float:
+        """Exposition value: the last-written value."""
+        return self._value
+
+
+class Histogram:
+    """A distribution of observed values with exact percentiles.
+
+    Observations are retained in full (streams here are 1e4–1e5 tuples, so
+    exact percentiles are affordable); :meth:`percentile` sorts lazily and
+    caches until the next observation.
+    """
+
+    __slots__ = ("name", "_values", "_sorted", "_total")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._sorted: list[float] | None = None
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+        self._total += value
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / len(self._values) if self._values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linearly interpolated percentile, ``p`` in ``[0, 100]``."""
+        if not 0.0 <= p <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        ordered = self._sorted
+        position = (len(ordered) - 1) * (p / 100.0)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    def summary(self) -> dict[str, float]:
+        """Count, total, mean, min/max and the standard percentile trio."""
+        result = {
+            "count": float(self.count),
+            "total": self._total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        for p in SUMMARY_PERCENTILES:
+            result[f"p{p:g}"] = self.percentile(p)
+        return result
+
+    def as_value(self) -> dict[str, float]:
+        """Exposition value: the summary mapping."""
+        return self.summary()
+
+
+class Timer(Histogram):
+    """A histogram of durations in nanoseconds.
+
+    Usable as a context manager (one timing per ``with`` block) or fed
+    directly via :meth:`observe_ns` when the caller clocks the section
+    itself — the tracker does the latter to keep the timed region tight
+    around ``estimator.update``.
+    """
+
+    __slots__ = ("_start",)
+
+    kind = "timer"
+
+    def observe_ns(self, elapsed_ns: int) -> None:
+        """Record one duration in nanoseconds."""
+        self.observe(float(elapsed_ns))
+
+    def __enter__(self) -> Timer:
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.observe_ns(time.perf_counter_ns() - self._start)
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use.
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("events.realloc").inc()
+    >>> registry.gauge("state.buckets").set(10)
+    >>> registry.counter("events.realloc").value
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram | Timer] = {}
+
+    def _get(self, name: str, cls: type) -> Counter | Gauge | Histogram | Timer:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"  # type: ignore[attr-defined]
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Timer:
+        """The timer named ``name`` (created on first use)."""
+        return self._get(name, Timer)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | Timer | None:
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge, ``default`` when absent."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        raise ConfigurationError(f"metric {name!r} is a {metric.kind}, not a scalar")
+
+    def names(self) -> list[str]:
+        """Every registered metric name, sorted."""
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram | Timer]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict[str, float | dict[str, float]]:
+        """Plain-data snapshot: scalars for counters/gauges, summaries for
+        histograms and timers (JSON-ready)."""
+        return {name: self._metrics[name].as_value() for name in self.names()}

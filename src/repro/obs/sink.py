@@ -1,0 +1,147 @@
+"""Structured event sinks: where estimator lifecycle events go.
+
+Every estimator accepts an optional ``sink`` and reports its adaptive
+behaviour through it — reallocations, rebuilds, merge/split swaps, GK
+compressions, window expiries, threshold drift.  Three implementations
+cover the use cases:
+
+* :data:`NULL_SINK` (a :class:`NullSink`) — the default.  ``enabled`` is
+  False, so instrumented code skips even building the event payload; the
+  steady-state cost of the instrumentation layer is one attribute load and
+  branch per potential event site.
+* :class:`RecordingSink` — aggregates every event into a
+  :class:`~repro.obs.registry.MetricsRegistry` (a counter per event name,
+  a histogram per numeric field) and retains the raw event stream up to a
+  cap.  This is what the evaluation tracker and the CLI attach.
+* :class:`LoggingSink` — forwards events to :mod:`logging` for ad hoc
+  debugging of a live estimator.
+
+Event names are dotted (``realloc.piecemeal``, ``hist.rebuild``); the full
+catalogue lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import NamedTuple, Protocol, runtime_checkable
+
+from repro.obs.registry import MetricsRegistry
+
+
+class ObsEvent(NamedTuple):
+    """One structured event: a dotted name plus a flat field mapping."""
+
+    name: str
+    fields: dict[str, float | str]
+
+
+@runtime_checkable
+class ObsSink(Protocol):
+    """Receiver for estimator lifecycle events.
+
+    ``enabled`` is a plain attribute (not a property) so the hot-path guard
+    ``if sink.enabled:`` is a single attribute load.  Implementations with
+    ``enabled = False`` promise that :meth:`emit` is a no-op, letting
+    instrumented code skip payload construction entirely.
+    """
+
+    enabled: bool
+
+    def emit(self, name: str, /, **fields: float | str) -> None:
+        """Record one event."""
+        ...
+
+
+class NullSink:
+    """The disabled sink: drops everything, costs (almost) nothing."""
+
+    enabled = False
+
+    def emit(self, name: str, /, **fields: float | str) -> None:
+        """Deliberately empty."""
+
+
+#: Shared default instance — estimators fall back to this when constructed
+#: without a sink, so the null path allocates nothing per estimator.
+NULL_SINK = NullSink()
+
+
+class RecordingSink:
+    """Aggregate events into metrics and retain the raw stream.
+
+    Per event the sink increments the counter ``events.<name>``, observes
+    every numeric field into the histogram ``<name>.<field>``, and counts
+    every string field via ``<name>.<field>.<value>``.  The raw
+    :class:`ObsEvent` list is capped at ``max_events`` (aggregates stay
+    exact beyond the cap; ``events.dropped`` counts the overflow).
+
+    Parameters
+    ----------
+    registry:
+        Aggregation target; a fresh :class:`MetricsRegistry` by default.
+    max_events:
+        Raw-event retention cap (sliding-window expiries fire once per
+        tuple, so unbounded retention would dominate a long run's memory).
+    """
+
+    enabled = True
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, max_events: int = 10_000
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.events: list[ObsEvent] = []
+        self._max_events = max_events
+
+    def emit(self, name: str, /, **fields: float | str) -> None:
+        """Aggregate one event into the registry and retain it (if room)."""
+        registry = self.registry
+        registry.counter(f"events.{name}").inc()
+        for key, value in fields.items():
+            if isinstance(value, str):
+                registry.counter(f"{name}.{key}.{value}").inc()
+            else:
+                registry.histogram(f"{name}.{key}").observe(float(value))
+        if len(self.events) < self._max_events:
+            self.events.append(ObsEvent(name, dict(fields)))
+        else:
+            registry.counter("events.dropped").inc()
+
+    def count(self, name: str) -> float:
+        """Exact number of events emitted under ``name`` (cap-independent)."""
+        return self.registry.value(f"events.{name}")
+
+    def events_named(self, name: str) -> list[ObsEvent]:
+        """Retained raw events with exactly this name."""
+        return [event for event in self.events if event.name == name]
+
+
+class LoggingSink:
+    """Forward events as structured log lines (logger ``repro.obs``)."""
+
+    enabled = True
+
+    def __init__(
+        self, logger: logging.Logger | None = None, level: int = logging.INFO
+    ) -> None:
+        self._logger = logger if logger is not None else logging.getLogger("repro.obs")
+        self._level = level
+
+    def emit(self, name: str, /, **fields: float | str) -> None:
+        """Log one event as a ``name key=value ...`` line."""
+        if self._logger.isEnabledFor(self._level):
+            payload = " ".join(f"{key}={value}" for key, value in fields.items())
+            self._logger.log(self._level, "%s %s", name, payload)
+
+
+class TeeSink:
+    """Fan one event stream out to several sinks (e.g. record + log)."""
+
+    def __init__(self, *sinks: ObsSink) -> None:
+        self._sinks = tuple(sink for sink in sinks if sink.enabled)
+        self.enabled = bool(self._sinks)
+
+    def emit(self, name: str, /, **fields: float | str) -> None:
+        """Forward one event to every enabled sink."""
+        for sink in self._sinks:
+            sink.emit(name, **fields)

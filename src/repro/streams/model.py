@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Iterator
-from typing import NamedTuple, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, NamedTuple, Protocol, runtime_checkable
 
 from repro.exceptions import StreamError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class Record(NamedTuple):
@@ -51,6 +54,52 @@ class StreamAlgorithm(Protocol):
     def update(self, record: Record) -> float:
         """Consume ``S_in[i]`` and return ``S_out[i]``."""
         ...
+
+
+@runtime_checkable
+class ObservableAlgorithm(StreamAlgorithm, Protocol):
+    """A stream algorithm that also reports live state-size gauges.
+
+    Every estimator in this library implements it: ``obs_state()`` returns
+    a flat name→value mapping of the summary's current footprint (bucket
+    count, ring length, tail mass, ...), which the evaluation tracker
+    copies into ``state.<key>`` gauges after a run.
+    """
+
+    def obs_state(self) -> dict[str, float]:
+        """Current state-size gauges, name → value."""
+        ...
+
+
+def profile_stream(
+    algorithm: StreamAlgorithm,
+    stream: Iterable[Record],
+    registry: "MetricsRegistry",
+) -> list[float]:
+    """Drive ``algorithm`` over ``stream``, timing every update.
+
+    Each ``update`` call is clocked with :func:`time.perf_counter_ns` into
+    the registry's ``update.latency_ns`` timer; if the algorithm is
+    :class:`ObservableAlgorithm`, its final ``obs_state()`` lands in
+    ``state.<key>`` gauges.  Returns the full output sequence.
+    """
+    from time import perf_counter_ns
+
+    timer = registry.timer("update.latency_ns")
+    observe = timer.observe_ns
+    update = algorithm.update
+    outputs: list[float] = []
+    for item in stream:
+        record = item if isinstance(item, Record) else Record(*item)
+        start = perf_counter_ns()
+        value = update(record)
+        observe(perf_counter_ns() - start)
+        outputs.append(value)
+    state_fn = getattr(algorithm, "obs_state", None)
+    if state_fn is not None:
+        for key, value in state_fn().items():
+            registry.gauge(f"state.{key}").set(value)
+    return outputs
 
 
 def run_stream(algorithm: StreamAlgorithm, stream: Iterable[Record]) -> Iterator[float]:

@@ -20,6 +20,7 @@ import math
 from typing import NamedTuple
 
 from repro.exceptions import ConfigurationError, EmptyScopeError
+from repro.obs.sink import NULL_SINK, ObsSink
 
 
 class _Entry(NamedTuple):
@@ -38,10 +39,11 @@ class GKQuantileSummary:
     True
     """
 
-    def __init__(self, eps: float = 0.01) -> None:
+    def __init__(self, eps: float = 0.01, sink: ObsSink | None = None) -> None:
         if not 0.0 < eps < 0.5:
             raise ConfigurationError(f"eps must be in (0, 0.5), got {eps}")
         self._eps = eps
+        self._obs = sink if sink is not None else NULL_SINK
         self._entries: list[_Entry] = []
         self._count = 0
         # Compress every ~1/(2 eps) inserts, the standard schedule.
@@ -81,6 +83,7 @@ class GKQuantileSummary:
         """Merge adjacent entries whose combined uncertainty stays in bounds."""
         if len(self._entries) < 3:
             return
+        before = len(self._entries)
         threshold = int(math.floor(2.0 * self._eps * self._count))
         merged: list[_Entry] = [self._entries[0]]
         # Never merge into the last entry's slot from the right; walk from
@@ -95,6 +98,13 @@ class GKQuantileSummary:
                 merged.append(current)
         merged.append(self._entries[-1])
         self._entries = merged
+        if self._obs.enabled:
+            self._obs.emit(
+                "gk.compress",
+                entries_before=float(before),
+                entries_after=float(len(merged)),
+                n=float(self._count),
+            )
 
     def rank_bounds(self, value: float) -> tuple[int, int]:
         """Bounds on ``count(x <= value)`` among the observed values.

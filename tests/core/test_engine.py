@@ -72,6 +72,38 @@ class TestFactory:
                 est.update(r)
 
 
+class TestOptionValidation:
+    def test_unknown_option_raises_loudly(self):
+        with pytest.raises(ConfigurationError, match="unknown estimator option"):
+            build_estimator(LM_MIN, "piecemeal-uniform", swap_perod=1)
+
+    def test_typo_gets_a_did_you_mean_hint(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'swap_period'"):
+            build_estimator(LM_MIN, "piecemeal-uniform", swap_perod=1)
+
+    def test_cross_method_sweep_kwargs_are_filtered_per_class(self):
+        # One kwargs dict drives a whole sweep: each estimator picks up
+        # only the knobs it has; foreign-but-known keys are dropped, not
+        # rejected (k_std belongs to the AVG estimators only).
+        records = make_records([1.0, 2.0, 5.0, 9.0])
+        shared = {"k_std": 2.5, "drift_tolerance": 0.1}
+        for method in ("piecemeal-uniform", "equiwidth", "heuristic-reset"):
+            est = build_estimator(LM_MIN, method, stream=records, **shared)
+            for r in records:
+                est.update(r)
+
+    def test_derive_helpers(self):
+        from repro.core.engine import derive_domain, derive_universe
+
+        records = make_records([3.0, 1.0, 2.0])
+        assert derive_domain(records) == (1.0, 3.0)
+        assert derive_universe(records) == [3.0, 1.0, 2.0]
+        low, high = derive_domain(make_records([5.0, 5.0]))
+        assert low < 5.0 < high  # constant stream gets a minimal pad
+        with pytest.raises(ConfigurationError):
+            derive_domain([])
+
+
 class TestMethodsForQuery:
     def test_landmark_extrema_methods(self):
         methods = methods_for_query(LM_MIN)

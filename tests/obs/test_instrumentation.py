@@ -1,0 +1,188 @@
+"""Integration tests: estimators emitting lifecycle events through sinks.
+
+The headline check is the paper's cost asymmetry made measurable: on a
+stream whose MIN drifts steadily downward (overlapping regions, so every
+shift is condition_2), the piecemeal strategy fires strictly more — but
+individually much smaller — reallocation events than wholesale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import build_estimator
+from repro.core.query import CorrelatedQuery
+from repro.eval.tracker import UPDATE_TIMER, evaluate_methods, run_method
+from repro.obs.sink import RecordingSink
+from tests.conftest import make_records
+
+LM_MIN = CorrelatedQuery("count", "min", epsilon=1.0)
+SW_MIN = CorrelatedQuery("count", "min", epsilon=9.0, window=50)
+
+
+def drifting_records(n: int = 400) -> list:
+    """A stream whose minimum decreases a little on every tuple.
+
+    Each new region overlaps the previous one (condition_2), so the focused
+    estimators reallocate rather than reinitialise.
+    """
+    return make_records([1000.0 - 0.5 * i for i in range(n)])
+
+
+def _replay_with_sink(query, method, records, **kwargs) -> RecordingSink:
+    sink = RecordingSink()
+    estimator = build_estimator(query, method, stream=records, sink=sink, **kwargs)
+    for record in records:
+        estimator.update(record)
+    return sink
+
+
+class TestReallocationAsymmetry:
+    def test_piecemeal_emits_more_smaller_events_than_wholesale(self):
+        records = drifting_records()
+        wholesale = _replay_with_sink(LM_MIN, "wholesale-uniform", records)
+        piecemeal = _replay_with_sink(LM_MIN, "piecemeal-uniform", records)
+
+        n_wholesale = wholesale.count("realloc.wholesale")
+        assert n_wholesale > 0
+        assert wholesale.count("realloc.piecemeal") == 0
+
+        # Piecemeal reports one summary per reallocation round PLUS one
+        # event per budget-restoring merge/split: strictly more events.
+        n_piecemeal = (
+            piecemeal.count("realloc.piecemeal")
+            + piecemeal.count("realloc.merge")
+            + piecemeal.count("realloc.split")
+        )
+        assert piecemeal.count("realloc.piecemeal") > 0
+        assert n_piecemeal > n_wholesale
+
+        # ... and each one touches fewer buckets than a full re-partition.
+        moved_w = wholesale.registry.get("realloc.wholesale.buckets_moved")
+        moved_p = piecemeal.registry.get("realloc.piecemeal.buckets_moved")
+        assert moved_p.mean < moved_w.mean
+
+    def test_region_shift_reports_drift_magnitude(self):
+        records = drifting_records()
+        sink = _replay_with_sink(LM_MIN, "piecemeal-uniform", records)
+        drift = sink.registry.get("region.shift.drift")
+        assert drift is not None and drift.count > 0
+        assert drift.minimum >= 0.0
+
+
+class TestEstimatorEvents:
+    def test_build_event_on_warmup(self):
+        sink = _replay_with_sink(LM_MIN, "piecemeal-uniform", drifting_records(50))
+        assert sink.count("hist.build") == 1.0
+
+    def test_sliding_window_expiries(self):
+        records = drifting_records(200)
+        sink = _replay_with_sink(SW_MIN, "piecemeal-uniform", records)
+        expired = sink.registry.get("window.expire.count")
+        assert expired is not None
+        # Every tuple past the first full window evicts its predecessor.
+        assert expired.total == pytest.approx(len(records) - SW_MIN.window)
+
+    def test_sliding_rebuilds_carry_a_reason(self):
+        sink = _replay_with_sink(
+            SW_MIN, "piecemeal-uniform", drifting_records(300), rebuild_period=40
+        )
+        reasons = {
+            event.fields.get("reason") for event in sink.events_named("hist.rebuild")
+        }
+        assert reasons  # at least one rebuild on a drifting stream
+        assert reasons <= {"regime", "periodic", "warmup"}
+
+    def test_gk_compressions_surface(self, rng):
+        records = make_records(rng.uniform(1.0, 100.0, size=800))
+        sink = _replay_with_sink(
+            CorrelatedQuery("count", "min", epsilon=9.0), "streaming-equidepth", records
+        )
+        assert sink.count("gk.compress") > 0
+
+    def test_heuristic_band_shift(self):
+        sink = _replay_with_sink(LM_MIN, "heuristic-reset", drifting_records(20))
+        drift = sink.registry.get("band.shift.drift")
+        assert drift is not None
+        assert drift.count == 19  # every record after the first is a new min
+
+    def test_disabled_by_default_emits_nothing(self):
+        records = drifting_records(100)
+        estimator = build_estimator(LM_MIN, "piecemeal-uniform", stream=records)
+        for record in records:
+            estimator.update(record)
+        # The default NULL_SINK is shared and stateless; nothing to assert
+        # on it beyond the estimator running cleanly without a registry.
+        assert estimator.obs_state()["buckets"] > 0
+
+
+class TestObsState:
+    @pytest.mark.parametrize(
+        "method",
+        [
+            "piecemeal-uniform",
+            "wholesale-quantile",
+            "equiwidth",
+            "equidepth",
+            "streaming-equidepth",
+            "heuristic-reset",
+            "heuristic-continue",
+            "exact",
+        ],
+    )
+    def test_every_method_reports_state_gauges(self, method):
+        records = drifting_records(80)
+        estimator = build_estimator(LM_MIN, method, stream=records)
+        for record in records:
+            estimator.update(record)
+        state = estimator.obs_state()
+        assert state and all(isinstance(v, float) for v in state.values())
+
+
+class TestTrackerObs:
+    def test_run_method_records_latency_and_state(self):
+        records = drifting_records(150)
+        sink = RecordingSink()
+        outputs = run_method(records, LM_MIN, "piecemeal-uniform", sink=sink)
+        assert len(outputs) == len(records)
+        timer = sink.registry.get(UPDATE_TIMER)
+        assert timer.count == len(records)
+        assert timer.percentile(99.0) >= timer.percentile(50.0) > 0.0
+        assert sink.registry.value("state.buckets") > 0
+
+    def test_evaluate_methods_obs_true_attaches_sinks(self):
+        records = drifting_records(120)
+        results = evaluate_methods(
+            records,
+            LM_MIN,
+            methods=["piecemeal-uniform", "equiwidth", "equidepth"],
+            obs=True,
+        )
+        for result in results.values():
+            assert result.obs is not None
+            assert result.metrics is result.obs.registry
+            assert result.metrics.get(UPDATE_TIMER).count == len(records)
+        # Two offline methods share one derivation scan: one scan saved.
+        assert (
+            results["equiwidth"].metrics.value("eval.domain_scans_saved") == 1.0
+        )
+
+    def test_evaluate_methods_obs_false_is_unobserved(self):
+        records = drifting_records(60)
+        results = evaluate_methods(
+            records, LM_MIN, methods=["piecemeal-uniform"], obs=False
+        )
+        result = results["piecemeal-uniform"]
+        assert result.obs is None
+        assert result.metrics is None
+
+    def test_obs_does_not_change_outputs(self):
+        records = drifting_records(200)
+        plain = evaluate_methods(records, LM_MIN, methods=["piecemeal-uniform"])
+        observed = evaluate_methods(
+            records, LM_MIN, methods=["piecemeal-uniform"], obs=True
+        )
+        np.testing.assert_array_equal(
+            plain["piecemeal-uniform"].outputs, observed["piecemeal-uniform"].outputs
+        )

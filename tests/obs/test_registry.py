@@ -1,0 +1,273 @@
+"""Tests for the metrics registry, sinks, and exposition formats."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.exposition import (
+    format_metrics_table,
+    render_json,
+    render_many_prometheus,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import (
+    NULL_SINK,
+    LoggingSink,
+    NullSink,
+    ObsSink,
+    RecordingSink,
+    TeeSink,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(2.0)
+        gauge.dec(0.5)
+        assert gauge.value == 11.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.mean == 2.5
+        assert hist.minimum == 1.0
+        assert hist.maximum == 4.0
+
+    def test_percentile_interpolates(self):
+        hist = MetricsRegistry().histogram("h")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(100.0) == 100.0
+        assert hist.percentile(50.0) == pytest.approx(50.5)
+
+    def test_percentile_empty_and_bounds(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.percentile(50.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            hist.percentile(101.0)
+
+    def test_summary_has_standard_percentiles(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(7.0)
+        summary = hist.summary()
+        for key in ("count", "total", "mean", "min", "max", "p50", "p95", "p99"):
+            assert key in summary
+
+
+class TestTimer:
+    def test_observe_ns(self):
+        timer = MetricsRegistry().timer("t")
+        timer.observe_ns(1_000)
+        assert timer.count == 1
+        assert timer.total == 1_000.0
+
+    def test_context_manager_records_positive_duration(self):
+        timer = MetricsRegistry().timer("t")
+        with timer:
+            sum(range(100))
+        assert timer.count == 1
+        assert timer.maximum > 0.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+    def test_timer_is_not_a_histogram_entry(self):
+        # Timer subclasses Histogram but the registry keeps kinds distinct.
+        registry = MetricsRegistry()
+        registry.timer("t")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("t")
+
+    def test_value_scalars_and_default(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3.0)
+        registry.gauge("g").set(-2.0)
+        assert registry.value("c") == 3.0
+        assert registry.value("g") == -2.0
+        assert registry.value("missing", default=9.0) == 9.0
+
+    def test_value_on_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1.0)
+        with pytest.raises(ConfigurationError):
+            registry.value("h")
+
+    def test_names_iteration_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert [m.name for m in registry] == ["a", "b"]
+        assert len(registry) == 2
+        assert registry.get("a") is not None
+        assert registry.get("zzz") is None
+
+    def test_as_dict_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.as_dict()
+        assert snapshot["c"] == 1.0
+        assert snapshot["h"]["count"] == 1.0
+        json.dumps(snapshot)  # must not raise
+
+
+class TestNullSink:
+    def test_disabled_and_noop(self):
+        assert NULL_SINK.enabled is False
+        NULL_SINK.emit("anything", value=1.0)  # must not raise
+
+    def test_shared_instance_is_a_nullsink(self):
+        assert isinstance(NULL_SINK, NullSink)
+        assert isinstance(NULL_SINK, ObsSink)
+
+
+class TestRecordingSink:
+    def test_counts_events_by_name(self):
+        sink = RecordingSink()
+        sink.emit("realloc.piecemeal", buckets_moved=3.0)
+        sink.emit("realloc.piecemeal", buckets_moved=1.0)
+        assert sink.count("realloc.piecemeal") == 2.0
+        assert sink.count("never.happened") == 0.0
+
+    def test_numeric_fields_become_histograms(self):
+        sink = RecordingSink()
+        sink.emit("hist.swap", gain=4.0)
+        sink.emit("hist.swap", gain=6.0)
+        hist = sink.registry.get("hist.swap.gain")
+        assert hist is not None
+        assert hist.mean == 5.0
+
+    def test_string_fields_become_labelled_counters(self):
+        sink = RecordingSink()
+        sink.emit("hist.rebuild", reason="regime")
+        sink.emit("hist.rebuild", reason="periodic")
+        sink.emit("hist.rebuild", reason="regime")
+        assert sink.registry.value("hist.rebuild.reason.regime") == 2.0
+        assert sink.registry.value("hist.rebuild.reason.periodic") == 1.0
+
+    def test_raw_events_retained_and_queryable(self):
+        sink = RecordingSink()
+        sink.emit("a", x=1.0)
+        sink.emit("b", x=2.0)
+        assert len(sink.events) == 2
+        assert [e.name for e in sink.events_named("a")] == ["a"]
+        assert sink.events_named("a")[0].fields == {"x": 1.0}
+
+    def test_retention_cap_keeps_aggregates_exact(self):
+        sink = RecordingSink(max_events=2)
+        for _ in range(5):
+            sink.emit("tick")
+        assert len(sink.events) == 2
+        assert sink.count("tick") == 5.0
+        assert sink.registry.value("events.dropped") == 3.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(RecordingSink(), ObsSink)
+
+
+class TestLoggingSink:
+    def test_forwards_to_logger(self, caplog):
+        sink = LoggingSink(level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            sink.emit("hist.build", buckets=10.0)
+        assert "hist.build" in caplog.text
+        assert "buckets=10.0" in caplog.text
+
+
+class TestTeeSink:
+    def test_fans_out_to_enabled_sinks(self):
+        first, second = RecordingSink(), RecordingSink()
+        tee = TeeSink(first, NULL_SINK, second)
+        assert tee.enabled is True
+        tee.emit("evt", n=1.0)
+        assert first.count("evt") == 1.0
+        assert second.count("evt") == 1.0
+
+    def test_all_disabled_means_disabled(self):
+        assert TeeSink(NullSink(), NULL_SINK).enabled is False
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("events.realloc").inc(3.0)
+    registry.gauge("state.buckets").set(10.0)
+    registry.timer("update.latency_ns").observe_ns(2_000)
+    return registry
+
+
+class TestExposition:
+    def test_table_lists_every_metric(self):
+        table = format_metrics_table(_populated_registry())
+        assert "events.realloc" in table
+        assert "state.buckets" in table
+        assert "update.latency_ns" in table
+        assert "p50" in table
+
+    def test_table_renders_empty_registry(self):
+        assert "metric" in format_metrics_table(MetricsRegistry())
+
+    def test_json_round_trips(self):
+        document = json.loads(render_json(_populated_registry(), extra={"method": "x"}))
+        assert document["method"] == "x"
+        assert document["metrics"]["events.realloc"] == 3.0
+        assert document["metrics"]["update.latency_ns"]["count"] == 1.0
+
+    def test_prometheus_exposition_shapes(self):
+        text = render_prometheus(_populated_registry(), labels={"method": "pm"})
+        assert "# TYPE repro_events_realloc_total counter" in text
+        assert 'repro_events_realloc_total{method="pm"} 3' in text
+        assert "# TYPE repro_state_buckets gauge" in text
+        assert 'quantile="0.5"' in text
+        assert "repro_update_latency_ns_count" in text
+
+    def test_prometheus_folds_invalid_characters(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b-c").inc()
+        assert "repro_a_b_c_total" in render_prometheus(registry)
+
+    def test_many_prometheus_concatenates_labelled_blocks(self):
+        text = render_many_prometheus(
+            [
+                ({"method": "a"}, _populated_registry()),
+                ({"method": "b"}, _populated_registry()),
+            ]
+        )
+        assert 'method="a"' in text
+        assert 'method="b"' in text

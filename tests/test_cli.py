@@ -43,6 +43,81 @@ class TestRun:
             main(["run", "F99"])
 
 
+class TestMetrics:
+    def test_run_with_metrics_prints_obs_table(self, capsys):
+        code = main(
+            [
+                "run",
+                "F7",
+                "--size",
+                "300",
+                "--methods",
+                "piecemeal-uniform,wholesale-uniform",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50 us" in out and "p99 us" in out
+        assert "realloc(w)" in out and "realloc(p)" in out
+
+    def test_stats_table(self, capsys):
+        code = main(
+            ["stats", "F7", "--size", "300", "--methods", "piecemeal-uniform"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50 us" in out
+        assert "update.latency_ns" in out
+
+    def test_stats_prometheus(self, capsys):
+        code = main(
+            [
+                "stats",
+                "F7",
+                "--size",
+                "300",
+                "--methods",
+                "piecemeal-uniform",
+                "--format",
+                "prometheus",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'method="piecemeal-uniform"' in out
+        assert "repro_update_latency_ns" in out
+
+    def test_estimate_metrics_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "ZIPF",
+                "--independent",
+                "min",
+                "--epsilon",
+                "1000",
+                "--size",
+                "400",
+                "--metrics",
+                "--metrics-format",
+                "json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The JSON document is the trailing block; the query description
+        # above it also contains braces, so anchor on the document's own
+        # opening line.
+        payload = out[out.rindex("\n{\n") + 1 :]
+        document = json.loads(payload)
+        assert "metrics" in document
+        assert "update.latency_ns" in document["metrics"]
+
+
 class TestEstimate:
     def test_min_query(self, capsys):
         code = main(
