@@ -65,6 +65,38 @@ def test_streaming_throughput(benchmark, usage_slice, query_name, method):
     benchmark.extra_info["tuples_per_round"] = SLICE
 
 
+@pytest.mark.parametrize("ingestion", ("single", "batched"))
+def test_batched_vs_single_ingestion(benchmark, usage_slice, ingestion):
+    """Batched ``update_many`` vs. the per-record ``update`` loop.
+
+    Same landmark-min workload either way (the batch path is parity-tested
+    to transcribe the scalar loop exactly); the delta is pure ingestion
+    overhead — per-call attribute resolution and method dispatch that the
+    kernel's hoisted batch loop resolves once per chunk.
+    """
+    query = QUERIES["landmark-min"]
+
+    if ingestion == "single":
+
+        def run() -> float:
+            estimator = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+            out = 0.0
+            for record in usage_slice:
+                out = estimator.update(record)
+            return out
+
+    else:
+
+        def run() -> float:
+            estimator = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+            return estimator.update_many(usage_slice)[-1]
+
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = SLICE
+    benchmark.extra_info["ingestion"] = ingestion
+
+
 def test_exact_oracle_cost(benchmark, usage_slice):
     """The oracle's O(log n)/step cost — the bar single-pass methods avoid."""
     query = QUERIES["landmark-min"]

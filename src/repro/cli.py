@@ -133,6 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         methods=methods,
         num_buckets=args.buckets,
         obs=args.metrics,
+        batch_size=args.batch_size,
     )
     spec = EXPERIMENTS[args.experiment]
     print(f"{spec.figure}: {spec.description}\n")
@@ -193,7 +194,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     from repro.eval.tracker import MethodResult, run_method
 
     outputs = run_method(
-        records, query, method, num_buckets=args.buckets, sink=sink
+        records, query, method, num_buckets=args.buckets, sink=sink,
+        batch_size=args.batch_size,
     )
     exact = exact_series(records, query)
 
@@ -253,6 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--buckets", type=int, default=None, help="override bucket budget")
     run.add_argument("--checkpoints", type=int, default=10)
     run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        dest="batch_size",
+        help="feed estimators through update_many in chunks of N records "
+        "(ignored with --metrics, which clocks individual updates)",
+    )
+    run.add_argument(
         "--metrics",
         action="store_true",
         help="attach instrumentation and print per-method metrics",
@@ -294,6 +304,14 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--size", type=int, default=5000)
     est.add_argument("--buckets", type=int, default=10)
     est.add_argument("--checkpoints", type=int, default=10)
+    est.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        dest="batch_size",
+        help="feed the estimator through update_many in chunks of N records "
+        "(ignored with --metrics, which clocks individual updates)",
+    )
     est.add_argument(
         "--metrics",
         action="store_true",

@@ -24,13 +24,13 @@ from repro.histograms.equidepth import EquidepthHistogram
 from repro.histograms.equiwidth import EquiwidthHistogram
 from repro.histograms.streaming_equidepth import StreamingEquidepthHistogram
 from repro.obs.sink import NULL_SINK, ObsSink
-from repro.streams.model import Record, ensure_finite
+from repro.streams.model import BatchedIngest, Record, ensure_finite
 from repro.structures.monotonic_deque import MonotonicDeque
 from repro.structures.ring_buffer import RingBuffer
 from repro.structures.welford import RunningMoments
 
 
-class _TraditionalEstimator:
+class _TraditionalEstimator(BatchedIngest):
     """Shared scaffolding: exact independent aggregate + domain histogram."""
 
     def __init__(self, query: CorrelatedQuery, sink: ObsSink | None = None) -> None:

@@ -19,14 +19,14 @@ from collections.abc import Iterable, Sequence
 
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError
-from repro.streams.model import Record, ensure_finite
+from repro.streams.model import BatchedIngest, Record, ensure_finite
 from repro.structures.fenwick import OrderStatisticsIndex
 from repro.structures.monotonic_deque import MonotonicDeque
 from repro.structures.ring_buffer import RingBuffer
 from repro.structures.welford import RunningMoments
 
 
-class ExactOracle:
+class ExactOracle(BatchedIngest):
     """Exact per-step values of a correlated aggregate.
 
     Parameters

@@ -1,0 +1,687 @@
+"""The shared kernel behind every focused-histogram estimator.
+
+The paper's four focused methods differ in threshold policy (extrema vs.
+average), scope (landmark, count-sliding, time-sliding), reallocation
+strategy, and partitioning policy — but they all run the same lifecycle:
+
+.. code-block:: text
+
+    update(record)
+      ensure_finite
+      _ingest(record)                 # moments / trackers / window push
+      warming up?  ──yes──> _warmup_step(record)
+         │                     └─ enough tuples? _build_histogram()
+         │                           _build_interval() -> _build_edges()
+         │                           emit hist.build
+         │                           _seed_histogram()
+         no
+         └──> _step(record, carrier)
+                 _target_interval()              # where should the focus be?
+                 _should_reallocate(lo, hi)?     # is the drift material?
+                    └─ _reallocate(lo, hi)       # move the buckets
+                         emit region.shift
+                         regime break? _rebuild_from_window()
+                         else wholesale/piecemeal + tail exchange
+                 _route_add(record)              # tails vs. fine buckets
+      return estimate()
+
+:class:`FocusedEstimatorBase` owns that skeleton — warmup buffering,
+histogram build/rebuild, reallocation scheduling, quantile merge/split
+maintenance, obs event emission, ``obs_state()``/``estimate_bounds()``
+plumbing, and the batched ``update_many`` ingestion path — while the five
+estimator subclasses override only the small policy hooks where they
+genuinely differ (``_target_interval``, ``_route_add``/``_route_remove``,
+``_should_reallocate``, partitioning sources).  Adding a new scope or
+threshold policy is one subclass, not a sixth parallel module.
+
+Two mixins capture the recurring summary shapes:
+
+* :class:`TwoTailSummaryMixin` — the three-region summary (coarse left
+  tail, fine focus buckets, coarse right tail) used by the AVG estimators
+  and the time-sliding estimator, including the shared reallocate-and-
+  pour-tails step and the band-mass answer path.
+* :class:`RingWindowMixin` — the count-based sliding window: a ring of
+  ``[record, side]`` cells whose side routes expiry to the account the
+  mass was credited to, plus the expire → retarget → place step.
+
+Every method here is float-for-float identical to the five pre-refactor
+modules; ``tests/core/test_kernel_parity.py`` replays golden fixtures
+recorded before the merge and fails on any drift, down to the last bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
+from repro.histograms.maintenance import merge_split_swap
+from repro.histograms.mass import band_bounds, band_mass, pour_uniform
+from repro.histograms.partition import uniform_boundaries
+from repro.histograms.reallocate import (
+    POLICIES,
+    piecemeal_reallocate,
+    wholesale_reallocate,
+)
+from repro.obs.sink import NULL_SINK, ObsSink
+from repro.streams.model import Record, ensure_finite
+from repro.structures.ring_buffer import RingBuffer
+
+STRATEGIES = ("wholesale", "piecemeal")
+
+
+class FocusedEstimatorBase:
+    """Template-method kernel for focused-histogram estimators.
+
+    Subclasses configure the skeleton through class attributes and
+    override the policy hooks; they must call :meth:`_init_kernel` from
+    ``__init__`` (keeping an explicit keyword signature — the engine
+    introspects it to filter cross-method option sweeps).
+    """
+
+    #: Buckets reserved outside the focus region (2 tails, 1 catch-all, 0).
+    _reserved = 0
+    #: Smallest legal bucket budget, and the hint shown when violated.
+    _min_buckets = 2
+    _min_buckets_hint = ""
+    #: Quantile-policy merge/split maintenance on insert (off for time windows).
+    _swap_enabled = True
+    #: Whether obs_state() reports a warmup_buffer gauge.
+    _warmup_gauge = True
+    #: Whether update() ingests plain records (False: (time, record) pairs).
+    _timestamped = False
+
+    # ------------------------------------------------------- construction
+
+    def _init_kernel(
+        self,
+        query: CorrelatedQuery,
+        num_buckets: int,
+        strategy: str,
+        policy: str,
+        swap_period: int,
+        sink: ObsSink | None,
+    ) -> None:
+        """Validate and install the state every focused estimator shares."""
+        if num_buckets < self._min_buckets:
+            raise ConfigurationError(
+                f"num_buckets must be >= {self._min_buckets}"
+                f"{self._min_buckets_hint}, got {num_buckets}"
+            )
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        if policy not in POLICIES:
+            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._query = query
+        self._m = num_buckets
+        self._inner_m = num_buckets - self._reserved
+        self._strategy = strategy
+        self._policy = policy
+        self._swap_period = swap_period
+        self._obs = sink if sink is not None else NULL_SINK
+        self._buffer: list[Record] | None = []
+        self._inner: BucketArray | None = None
+        self._adds_since_swap = 0
+        self._steps_since_rebuild = 0
+
+    # ----------------------------------------------------------- plumbing
+
+    @property
+    def query(self) -> CorrelatedQuery:
+        return self._query
+
+    @property
+    def focus_interval(self) -> tuple[float, float]:
+        """Current focus region ``[lo, hi]`` (the finely bucketed span)."""
+        if self._inner is None:
+            raise StreamError("focus_interval before the histogram was initialised")
+        return (self._inner.low, self._inner.high)
+
+    @property
+    def histogram(self) -> BucketArray | None:
+        """The fine buckets over the focus region (None while warming up)."""
+        return self._inner
+
+    # ------------------------------------------------------- policy hooks
+
+    def _independent_value(self) -> float:
+        """The current independent aggregate (exact or tracked)."""
+        raise NotImplementedError
+
+    def _target_interval(self) -> tuple[float, float]:
+        """Where the focus region should sit right now."""
+        raise NotImplementedError
+
+    def _route_add(self, record: Record) -> str:
+        """Credit one record to the summary; return the side it went to."""
+        raise NotImplementedError
+
+    def _route_remove(self, record: Record, side: str) -> None:
+        """Debit one expiring record from the side it was credited to."""
+        raise NotImplementedError
+
+    def _should_reallocate(self, lo: float, hi: float) -> bool:
+        """Deadband gate: is the focus drift material enough to move buckets?
+
+        The default gates both boundaries on ``drift_tolerance`` focus
+        bucket widths — the region drifts a little at every step, and
+        reallocating each move would re-interpolate all focus mass
+        thousands of times (wholesale especially diffuses under repeated
+        redistribution).
+        """
+        assert self._inner is not None
+        bucket_width = (self._inner.high - self._inner.low) / self._inner_m
+        tolerance = self._drift_tolerance * bucket_width
+        return (
+            abs(lo - self._inner.low) > tolerance or abs(hi - self._inner.high) > tolerance
+        )
+
+    def _ingest(self, record: Record) -> object:
+        """Pre-step bookkeeping (moments, trackers, window push).
+
+        Runs during warmup too; whatever it returns is handed to
+        :meth:`_step` as the carrier (e.g. the window cell + evicted pair).
+        """
+        return None
+
+    # -------------------------------------------------------------- steps
+
+    def update(self, record: Record) -> float:
+        """Consume the next tuple; return the current estimate."""
+        ensure_finite(record)
+        carrier = self._ingest(record)
+        if self._buffer is not None:
+            self._warmup_step(record)
+        else:
+            self._step(record, carrier)
+        return self.estimate()
+
+    def _warmup_step(self, record: Record) -> None:
+        """Buffer exactly until ``m`` tuples justify a partitioning."""
+        assert self._buffer is not None
+        self._buffer.append(record)
+        if len(self._buffer) >= self._m:
+            self._build_histogram()
+
+    def _step(self, record: Record, carrier: object) -> None:
+        """One steady-state step: retarget, maybe move buckets, place."""
+        lo, hi = self._target_interval()
+        if self._should_reallocate(lo, hi):
+            self._reallocate(lo, hi)
+        self._route_add(record)
+
+    # ------------------------------------------------------ build/rebuild
+
+    def _build_histogram(self) -> None:
+        """End warmup: partition the focus region and seed it."""
+        lo, hi = self._build_interval()
+        self._inner = BucketArray(self._build_edges(lo, hi))
+        if self._obs.enabled:
+            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
+        self._seed_histogram()
+        self._buffer = None
+
+    def _build_interval(self) -> tuple[float, float]:
+        return self._target_interval()
+
+    def _build_edges(self, lo: float, hi: float) -> list[float]:
+        """Bucket boundaries for the first build (defaults to _partition)."""
+        return self._partition(lo, hi)
+
+    def _rebuild_edges(self, lo: float, hi: float) -> list[float]:
+        """Bucket boundaries for a from-window rebuild."""
+        return self._partition(lo, hi)
+
+    def _partition(self, lo: float, hi: float) -> list[float]:
+        if self._policy == "uniform":
+            return uniform_boundaries(lo, hi, self._inner_m)
+        return self._quantile_edges(lo, hi)
+
+    def _quantile_edges(self, lo: float, hi: float) -> list[float]:
+        """Quantile-policy boundaries (fitted normal or observed values)."""
+        raise NotImplementedError
+
+    def _seed_histogram(self) -> None:
+        """Replay the warmup population into the fresh histogram."""
+        assert self._buffer is not None
+        for record in self._buffer:
+            self._route_add(record)
+
+    def _rebuild_from_window(self, lo: float, hi: float, reason: str = "regime") -> None:
+        """Restart the summary over ``[lo, hi]`` from the live population.
+
+        Runs in O(w), but only on rebuild events (regime breaks and the
+        periodic re-sort); the per-tuple path stays O(m).
+        """
+        edges = self._rebuild_edges(lo, hi)
+        if self._obs.enabled:
+            self._obs.emit(
+                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=self._population()
+            )
+        self._inner = BucketArray(edges)
+        self._reset_tails()
+        self._steps_since_rebuild = 0
+        self._reseed_from_window()
+
+    def _population(self) -> float:
+        """How many live tuples a from-window rebuild scans."""
+        raise NotImplementedError
+
+    def _reset_tails(self) -> None:
+        """Zero the coarse summary accounts outside the fine buckets."""
+        raise NotImplementedError
+
+    def _reseed_from_window(self) -> None:
+        """Re-route every live tuple into the freshly partitioned summary."""
+        raise NotImplementedError
+
+    def _reallocate(self, lo: float, hi: float) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------- quantile maintenance
+
+    def _after_add(self) -> None:
+        """Quantile-policy merge/split swap, every ``swap_period`` inserts."""
+        if not self._swap_enabled or self._policy != "quantile":
+            return
+        self._adds_since_swap += 1
+        if self._adds_since_swap >= self._swap_period:
+            self._adds_since_swap = 0
+            assert self._inner is not None
+            merge_split_swap(self._inner, sink=self._obs)
+
+    # ---------------------------------------------------- batched ingestion
+
+    def update_many(self, records: Iterable[Record]) -> list[float]:
+        """Consume a chunk of tuples; return one estimate per tuple.
+
+        Exactly equivalent to ``[self.update(r) for r in records]`` — the
+        parity suite enforces it — but subclasses override
+        :meth:`_update_batch` to resolve attributes and bound methods once
+        per batch instead of once per record.
+        """
+        if self._timestamped:
+            raise ConfigurationError(
+                "this estimator ingests (time, record) pairs; use update_many_timed()"
+            )
+        records = [r if isinstance(r, Record) else Record(*r) for r in records]
+        outputs: list[float] = []
+        i = 0
+        n = len(records)
+        while i < n and self._buffer is not None:
+            outputs.append(self.update(records[i]))
+            i += 1
+        if i < n:
+            self._update_batch(records, i, outputs)
+        return outputs
+
+    def _update_batch(self, records: list[Record], start: int, outputs: list[float]) -> None:
+        """Steady-state batch loop; subclasses may inline their hot path."""
+        update = self.update
+        append = outputs.append
+        for record in records[start:] if start else records:
+            append(update(record))
+
+    # ------------------------------------------------------------- answers
+
+    def estimate(self) -> float:
+        """Current value of the output sequence ``S_out[i]``."""
+        raise NotImplementedError
+
+    def _estimate_warmup(self) -> float:
+        """Exact answer from the warmup buffer (the paper's early regime)."""
+        assert self._buffer is not None
+        independent = self._independent_value()
+        qualifying = [r for r in self._buffer if self._query.qualifies(r.x, independent)]
+        count = float(len(qualifying))
+        weight = sum(r.y for r in qualifying)
+        return self._query.value_from(count, weight)
+
+    def estimate_bounds(self) -> tuple[float, float]:
+        """Lower/upper bounds instead of the interpolated point estimate.
+
+        Implements the paper's bound-reporting remark (Section 3.1):
+        partially-overlapped buckets are discarded (lower) or counted
+        whole (upper).  Defined for COUNT and SUM dependents (a ratio of
+        bounds does not bound a ratio, so AVG dependents are rejected).
+        Sliding scopes additionally inherit the deletion-approximation
+        error, so the bounds bracket the *summary's* mass there.
+        """
+        if self._query.dependent == "avg":
+            raise ConfigurationError("estimate_bounds is undefined for AVG dependents")
+        if self._inner is None:
+            value = self.estimate()  # warm-up answers are exact
+            return (value, value)
+        return self._bounds_from_summary()
+
+    def _bounds_from_summary(self) -> tuple[float, float]:
+        raise NotImplementedError
+
+    # -------------------------------------------------------- observability
+
+    def obs_state(self) -> dict[str, float]:
+        """Live state-size gauges for the instrumentation layer."""
+        state = {
+            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
+        }
+        state.update(self._extra_gauges())
+        if self._warmup_gauge:
+            state["warmup_buffer"] = (
+                float(len(self._buffer)) if self._buffer is not None else 0.0
+            )
+        return state
+
+    def _extra_gauges(self) -> dict[str, float]:
+        return {}
+
+
+class TwoTailSummaryMixin:
+    """Three-region summary: coarse left tail + fine buckets + coarse right tail.
+
+    The paper's bucket list ``(min, lo, ..., hi, max)`` for AVG thresholds
+    (and the time-sliding estimator): two of the ``m`` buckets are scalar
+    tail masses with exact span endpoints, and mass crossing the focus
+    boundary is exchanged with them pro-rata under the same uniformity
+    assumption used everywhere else.  Provides routing, the shared
+    reallocate-and-pour-tails step, and the band-mass answer path.
+
+    Hosts must provide ``_span()`` (the tail spans' outer endpoints) and
+    ``_independent_value()``.
+    """
+
+    _reserved = 2
+    _min_buckets = 4
+    _min_buckets_hint = " (2 tails + >= 2 focus)"
+    #: Whether a regime break restarts the summary from the live window
+    #: (sliding scopes) or falls back to wholesale redistribution
+    #: (landmark scope, where no replayable window exists).
+    _rebuild_on_regime = True
+
+    def _init_two_tails(self) -> None:
+        self._left_tail = ZERO_MASS
+        self._right_tail = ZERO_MASS
+
+    def _span(self) -> tuple[float, float]:
+        """Outer endpoints ``(xmin, xmax)`` the tails stretch to."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------- mass routing
+
+    def _classify(self, x: float) -> str:
+        assert self._inner is not None
+        if x < self._inner.low:
+            return "L"
+        if x > self._inner.high:
+            return "R"
+        return "I"
+
+    def _route_add(self, record: Record) -> str:
+        assert self._inner is not None
+        side = self._classify(record.x)
+        if side == "L":
+            self._left_tail += Mass(1.0, record.y)
+        elif side == "R":
+            self._right_tail += Mass(1.0, record.y)
+        else:
+            self._inner.add(record.x, record.y)
+            self._after_add()
+        return side
+
+    def _route_remove(self, record: Record, side: str) -> None:
+        """Expire a record from the account its mass was credited to."""
+        assert self._inner is not None
+        if side == "L":
+            self._left_tail = Mass(
+                self._left_tail.count - 1.0, self._left_tail.weight - record.y
+            )
+        elif side == "R":
+            self._right_tail = Mass(
+                self._right_tail.count - 1.0, self._right_tail.weight - record.y
+            )
+        else:
+            self._inner.remove(record.x, record.y)
+
+    def _reset_tails(self) -> None:
+        self._left_tail = ZERO_MASS
+        self._right_tail = ZERO_MASS
+
+    # -------------------------------------------------------- reallocation
+
+    def _regime_break(self, lo: float, hi: float, old_lo: float, old_hi: float) -> bool:
+        """Did the focus jump past its old position (or explode in width)?
+
+        Default: near-disjoint — overlap at most a quarter of the union.
+        Landmark AVG overrides with true disjointness (the mean cannot
+        jump without the data moving it).
+        """
+        overlap = min(hi, old_hi) - max(lo, old_lo)
+        union = max(hi, old_hi) - min(lo, old_lo)
+        return overlap <= 0.25 * union
+
+    def _wholesale_partition(self, lo: float, hi: float) -> tuple[str, list[float] | None]:
+        """(policy, explicit edges) handed to wholesale_reallocate.
+
+        The AVG estimators partition by the fitted normal (the paper's
+        strategy 2), so under the quantile policy they pass explicit
+        edges and tell wholesale to treat them as given.
+        """
+        explicit = self._partition(lo, hi) if self._policy == "quantile" else None
+        return ("uniform", explicit)
+
+    def _reallocate(self, lo: float, hi: float) -> None:
+        assert self._inner is not None
+        old_lo, old_hi = self._inner.low, self._inner.high
+
+        disjoint = self._regime_break(lo, hi, old_lo, old_hi)
+        if self._obs.enabled:
+            # Threshold drift: how far the focus boundaries moved in total.
+            self._obs.emit(
+                "region.shift",
+                drift=abs(lo - old_lo) + abs(hi - old_hi),
+                low=lo,
+                high=hi,
+                disjoint=float(disjoint),
+            )
+        if disjoint and self._rebuild_on_regime:
+            # Regime change: the sliding analogue of the paper's
+            # InitializeHistogram — restart the summary over the new
+            # region from the live window.  Incremental tail arithmetic
+            # would strand previously correctly-classified mass on what
+            # is now the wrong side.
+            self._rebuild_from_window(lo, hi, reason="regime")
+            return
+
+        xmin, xmax = self._span()
+        if self._strategy == "wholesale" or disjoint:
+            # A disjoint jump without a replayable window takes the
+            # wholesale path regardless of strategy: wholesale
+            # redistribution handles non-overlapping ranges naturally —
+            # all old mass spills to the tails — where piecemeal
+            # truncation cannot.
+            policy, explicit = self._wholesale_partition(lo, hi)
+            new_inner, spill_low, spill_high = wholesale_reallocate(
+                self._inner, lo, hi, self._inner_m, policy, edges=explicit, sink=self._obs
+            )
+        else:
+            new_inner, spill_low, spill_high = piecemeal_reallocate(
+                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
+            )
+
+        self._left_tail += spill_low
+        self._right_tail += spill_high
+
+        # Focus grew into a tail: pull the tail's pro-rata share inside.
+        if lo < old_lo:
+            span = old_lo - xmin  # left tail covers [xmin, old_lo]
+            fraction = 1.0 if span <= 0.0 else min((old_lo - lo) / span, 1.0)
+            share = self._left_tail.scaled(fraction)
+            self._left_tail = Mass(
+                self._left_tail.count - share.count, self._left_tail.weight - share.weight
+            )
+            pour_uniform(new_inner, lo, old_lo, share)
+        if hi > old_hi:
+            span = xmax - old_hi  # right tail covers [old_hi, xmax]
+            fraction = 1.0 if span <= 0.0 else min((hi - old_hi) / span, 1.0)
+            share = self._right_tail.scaled(fraction)
+            self._right_tail = Mass(
+                self._right_tail.count - share.count, self._right_tail.weight - share.weight
+            )
+            pour_uniform(new_inner, old_hi, hi, share)
+
+        self._inner = new_inner
+
+    # --------------------------------------------------------- CLT targeting
+
+    def _clt_interval(self, half: float) -> tuple[float, float]:
+        """Focus interval ``mu ± half`` clamped to the observed span.
+
+        Shared by the AVG estimators; ``half`` is the CLT confidence
+        half-width (``k * sigma_hat / sqrt(n or w)``).
+        """
+        mu = self._moments.mean
+        if self._query.two_sided:
+            # The region of interest is the band's *edges* mu +/- eps; the
+            # fine buckets must cover the whole band plus the CLT slack so
+            # both truncation points interpolate fine buckets.
+            half += self._query.epsilon
+        xmin, xmax = self._span()
+        if half <= 0.0:  # all values equal so far
+            half = max(abs(mu) * 1e-9, 1e-12)
+        lo = max(mu - half, xmin)
+        hi = min(mu + half, xmax)
+        if hi <= lo:
+            # Mean pinned at the data boundary: keep a sliver around it.
+            span = max((xmax - xmin) * 1e-6, abs(mu) * 1e-9, 1e-12)
+            lo = max(mu - span, xmin)
+            hi = lo + 2.0 * span
+        return (lo, hi)
+
+    # ------------------------------------------------------------- answers
+
+    def _band_is_empty(self, independent: float) -> bool:
+        """One-sided AVG guard: nothing strictly exceeds the mean.
+
+        Only possible when every observed value equals it — the strict
+        predicate selects nothing, which interpolation over a point mass
+        cannot see.  (Tracked maxima never understate the true max.)
+        """
+        if self._query.independent != "avg" or self._query.two_sided:
+            return False
+        return self._span()[1] <= independent
+
+    def estimate(self) -> float:
+        """Estimated dependent aggregate over the qualifying band."""
+        if self._inner is None:
+            return self._estimate_warmup()
+        independent = self._independent_value()
+        if self._band_is_empty(independent):
+            return 0.0
+        lo, hi = self._query.band(independent)
+        xmin, xmax = self._span()
+        mass = band_mass(
+            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
+        ).clamped()
+        return self._query.value_from(mass.count, mass.weight)
+
+    def _bounds_from_summary(self) -> tuple[float, float]:
+        assert self._inner is not None
+        independent = self._independent_value()
+        if self._band_is_empty(independent):
+            return (0.0, 0.0)
+        lo, hi = self._query.band(independent)
+        xmin, xmax = self._span()
+        lower, upper = band_bounds(
+            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
+        )
+        return (
+            self._query.value_from(lower.count, lower.weight),
+            self._query.value_from(upper.count, upper.weight),
+        )
+
+    def _extra_gauges(self) -> dict[str, float]:
+        gauges = super()._extra_gauges()
+        gauges["tail_count"] = self._left_tail.count + self._right_tail.count
+        return gauges
+
+
+class RingWindowMixin:
+    """Count-based sliding window over a ring of ``[record, side]`` cells.
+
+    Each cell remembers the side its record's mass went to at insertion,
+    so expiry decrements the same account it credited.  Routing deletions
+    by the *current* region instead would leave misclassified mass
+    stranded in a tail forever (and drive the other tail negative).
+    """
+
+    def _init_ring(
+        self,
+        window: int,
+        num_buckets: int,
+        num_intervals: int,
+        rebuild_period: int | None,
+    ) -> None:
+        if num_buckets > window:
+            raise ConfigurationError(
+                f"num_buckets ({num_buckets}) cannot exceed window ({window})"
+            )
+        if num_intervals > window:
+            raise ConfigurationError(
+                f"num_intervals ({num_intervals}) cannot exceed window ({window})"
+            )
+        if rebuild_period is None:
+            rebuild_period = max(window // 10, num_buckets)
+        if rebuild_period < 0:
+            raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
+        self._window = window
+        self._rebuild_period = rebuild_period
+        self._ring: RingBuffer[list] = RingBuffer(window)
+
+    def _push_trackers(self, record: Record) -> None:
+        """Feed the window statistics (moments and/or extrema trackers)."""
+        raise NotImplementedError
+
+    def _forget(self, record: Record) -> None:
+        """Retire an evicted record from any removable statistics."""
+
+    def _ingest(self, record: Record) -> tuple[list, list | None]:
+        self._push_trackers(record)
+        cell: list = [record, None]
+        evicted = self._ring.push(cell)
+        if evicted is not None:
+            self._forget(evicted[0])
+        return (cell, evicted)
+
+    def _step(self, record: Record, carrier: tuple[list, list | None]) -> None:
+        # Expire first (side-routed, so independent of the region), then
+        # move the region, then place the new arrival.  A regime-change or
+        # periodic rebuild routes the new arrival itself — the
+        # `cell[1] is None` check avoids adding it twice.
+        cell, evicted = carrier
+        if evicted is not None:
+            self._route_remove(evicted[0], evicted[1])
+            if self._obs.enabled:
+                self._obs.emit("window.expire", count=1.0, side=evicted[1])
+        lo, hi = self._target_interval()
+        self._steps_since_rebuild += 1
+        if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
+            self._rebuild_from_window(lo, hi, reason="periodic")
+        elif self._should_reallocate(lo, hi):
+            self._reallocate(lo, hi)
+        if cell[1] is None:
+            cell[1] = self._route_add(record)
+
+    def _seed_histogram(self) -> None:
+        self._reseed_from_window()  # warm-up is shorter than the window
+
+    def _reseed_from_window(self) -> None:
+        for cell in self._ring:
+            cell[1] = self._route_add(cell[0])
+
+    def _population(self) -> float:
+        return float(len(self._ring))
+
+    def _extra_gauges(self) -> dict[str, float]:
+        gauges = super()._extra_gauges()
+        gauges["ring"] = float(len(self._ring))
+        return gauges

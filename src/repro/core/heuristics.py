@@ -23,13 +23,13 @@ from __future__ import annotations
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError
 from repro.obs.sink import NULL_SINK, ObsSink
-from repro.streams.model import Record, ensure_finite
+from repro.streams.model import BatchedIngest, Record, ensure_finite
 from repro.structures.welford import RunningMoments
 
 VARIANTS = ("reset", "continue")
 
 
-class ExtremaHeuristic:
+class ExtremaHeuristic(BatchedIngest):
     """Reset/continue counter for extrema-band queries over a landmark scope.
 
     ``variant='reset'`` zeroes the accumulator whenever a new extremum
@@ -97,7 +97,7 @@ class ExtremaHeuristic:
         return {"accumulated": self._count}
 
 
-class AverageHeuristic:
+class AverageHeuristic(BatchedIngest):
     """Accumulate tuples that beat the running mean at arrival time.
 
     Keeps the exact running mean (one pass) and a single accumulator; each

@@ -22,140 +22,50 @@ times.  Wholesale then re-partitions the whole interval from scratch;
 piecemeal truncates/extends only at the boundaries (its "only when
 absolutely necessary" discipline).
 
-Tail buckets are represented as scalar masses with exact span endpoints
-(landmark min/max are exactly trackable); mass crossing the focus boundary
-is exchanged with the tails pro-rata under the same uniformity assumption
-used everywhere else.
+The lifecycle (warmup buffering, build, drift-gated reallocation, tail
+exchange, band-mass answers) lives in :mod:`repro.core.focused`; this
+module contributes only what is unique to the landmark-AVG scope: the
+exact running moments, the CLT focus target, fitted-normal quantile
+edges, and true-disjointness as the regime-break test (there is no
+replayable window, so a disjoint jump redistributes wholesale instead of
+rebuilding).
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Any
+
+from repro.core.focused import STRATEGIES, FocusedEstimatorBase, TwoTailSummaryMixin
 from repro.core.query import CorrelatedQuery
-from repro.exceptions import ConfigurationError, StreamError
-from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
-from repro.histograms.maintenance import merge_split_swap
-from repro.histograms.partition import (
-    normal_quantile_boundaries,
-    uniform_boundaries,
-)
-from repro.histograms.reallocate import (
-    POLICIES,
-    piecemeal_reallocate,
-    wholesale_reallocate,
-)
-from repro.obs.sink import NULL_SINK, ObsSink
-from repro.streams.model import Record, ensure_finite
+from repro.exceptions import ConfigurationError
+from repro.histograms.partition import normal_quantile_boundaries
+from repro.obs.sink import ObsSink
+from repro.streams.model import Record
 from repro.structures.welford import RunningMoments
 
-STRATEGIES = ("wholesale", "piecemeal")
+__all__ = ["LandmarkAvgEstimator", "STRATEGIES"]
+
+_MOVED_TO_MASS = ("band_mass", "band_bounds", "pour_uniform")
 
 
-def band_mass(
-    inner: BucketArray,
-    left_tail: Mass,
-    right_tail: Mass,
-    xmin: float,
-    xmax: float,
-    lo: float,
-    hi: float,
-) -> Mass:
-    """Interpolated mass within the qualifying band ``(lo, hi)``.
+def __getattr__(name: str) -> Any:
+    # Deprecation shim (one release): the band-mass helpers moved to the
+    # histogram layer, where they sit with the other pure bucket functions.
+    if name in _MOVED_TO_MASS:
+        warnings.warn(
+            f"repro.core.landmark_avg.{name} has moved to repro.histograms.mass; "
+            "this alias will be removed in the next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.histograms import mass
 
-    The summary is three regions — left tail over ``[xmin, inner.low]``,
-    the fine buckets, right tail over ``[inner.high, xmax]`` — each
-    contributing its overlap with the band pro-rata (tails under the
-    uniformity assumption; ``hi`` may be ``math.inf`` for one-sided
-    queries).
-    """
-
-    def tail_share(tail: Mass, span_lo: float, span_hi: float) -> Mass:
-        span = span_hi - span_lo
-        if span <= 0.0:
-            inside = lo <= span_lo <= hi
-            return tail if inside else ZERO_MASS
-        overlap = min(hi, span_hi) - max(lo, span_lo)
-        if overlap <= 0.0:
-            return ZERO_MASS
-        return tail.scaled(min(overlap / span, 1.0))
-
-    total = tail_share(left_tail, xmin, inner.low)
-    total += tail_share(right_tail, inner.high, xmax)
-    clipped_lo = max(lo, inner.low)
-    clipped_hi = min(hi, inner.high)
-    if clipped_hi > clipped_lo:
-        total += inner.estimate_between(clipped_lo, clipped_hi)
-    return total
+        return getattr(mass, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def band_bounds(
-    inner: BucketArray,
-    left_tail: Mass,
-    right_tail: Mass,
-    xmin: float,
-    xmax: float,
-    lo: float,
-    hi: float,
-) -> tuple[Mass, Mass]:
-    """Lower/upper bounds on the mass within ``(lo, hi)``.
-
-    The paper (Section 3.1): "upper- or lower-bounds can be reported based
-    on counting or discarding the entire bucket" — instead of interpolating
-    a partially-overlapped bucket, the lower bound discards it entirely and
-    the upper bound includes it entirely.  Applied to every partially
-    overlapped region: the straddling fine buckets and the two coarse
-    tails.
-    """
-
-    def tail_bounds(tail: Mass, span_lo: float, span_hi: float) -> tuple[Mass, Mass]:
-        span = span_hi - span_lo
-        if span <= 0.0:
-            inside = lo <= span_lo <= hi
-            return (tail, tail) if inside else (ZERO_MASS, ZERO_MASS)
-        overlap = min(hi, span_hi) - max(lo, span_lo)
-        if overlap <= 0.0:
-            return (ZERO_MASS, ZERO_MASS)
-        if overlap >= span:
-            return (tail, tail)
-        return (ZERO_MASS, tail)
-
-    lower = ZERO_MASS
-    upper = ZERO_MASS
-    for tail, span in ((left_tail, (xmin, inner.low)), (right_tail, (inner.high, xmax))):
-        tail_lo, tail_hi = tail_bounds(tail, *span)
-        lower += tail_lo
-        upper += tail_hi
-
-    edges = inner.edges
-    for i, (left, right) in enumerate(zip(edges, edges[1:])):
-        overlap = min(hi, right) - max(lo, left)
-        if overlap <= 0.0:
-            continue
-        bucket = inner.bucket_mass(i)
-        upper += bucket
-        if overlap >= right - left:
-            lower += bucket
-    return (lower.clamped(), upper.clamped())
-
-
-def pour_uniform(histogram: BucketArray, lo: float, hi: float, mass: Mass) -> None:
-    """Spread ``mass`` uniformly over ``[lo, hi]`` across the buckets it overlaps."""
-    lo = max(lo, histogram.low)
-    hi = min(hi, histogram.high)
-    span = hi - lo
-    if span <= 0.0 or (mass.count == 0.0 and mass.weight == 0.0):
-        # Degenerate target: drop the mass into the nearest boundary bucket.
-        if mass.count != 0.0 or mass.weight != 0.0:
-            index = histogram.locate(min(max(lo, histogram.low), histogram.high))
-            histogram.add_mass(index, mass)
-        return
-    edges = histogram.edges
-    for i, (left, right) in enumerate(zip(edges, edges[1:])):
-        overlap = min(hi, right) - max(lo, left)
-        if overlap > 0.0:
-            histogram.add_mass(i, mass.scaled(overlap / span))
-
-
-class LandmarkAvgEstimator:
+class LandmarkAvgEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
     """Single-pass estimator for ``AGG-D{y : x > AVG(x)}`` over a landmark scope.
 
     Parameters
@@ -191,6 +101,10 @@ class LandmarkAvgEstimator:
         ``hist.swap``).
     """
 
+    # The landmark scope keeps no replayable window, so a disjoint focus
+    # jump redistributes wholesale rather than rebuilding from scratch.
+    _rebuild_on_regime = False
+
     def __init__(
         self,
         query: CorrelatedQuery,
@@ -208,262 +122,42 @@ class LandmarkAvgEstimator:
             )
         if query.is_sliding:
             raise ConfigurationError("query has a sliding window; use SlidingAvgEstimator")
-        if num_buckets < 4:
-            raise ConfigurationError(
-                f"num_buckets must be >= 4 (2 tails + >= 2 focus), got {num_buckets}"
-            )
-        if strategy not in STRATEGIES:
-            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
-        if policy not in POLICIES:
-            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
         if k_std <= 0:
             raise ConfigurationError(f"k_std must be positive, got {k_std}")
         if drift_tolerance <= 0:
             raise ConfigurationError(f"drift_tolerance must be positive, got {drift_tolerance}")
-
-        self._query = query
-        self._m = num_buckets
-        self._inner_m = num_buckets - 2
-        self._strategy = strategy
-        self._policy = policy
         self._k = k_std
         self._drift_tolerance = drift_tolerance
-        self._swap_period = swap_period
-        self._obs = sink if sink is not None else NULL_SINK
-
         self._moments = RunningMoments()
-        self._buffer: list[Record] | None = []
-        self._inner: BucketArray | None = None
-        self._left_tail = ZERO_MASS
-        self._right_tail = ZERO_MASS
-        self._adds_since_swap = 0
-
-    # ------------------------------------------------------------ plumbing
-
-    @property
-    def query(self) -> CorrelatedQuery:
-        return self._query
+        self._init_two_tails()
 
     @property
     def mean(self) -> float:
         """The exact running mean (exactly computable in one pass)."""
         return self._moments.mean
 
-    @property
-    def focus_interval(self) -> tuple[float, float]:
-        """Current CLT focus interval ``[lo, hi]``."""
-        if self._inner is None:
-            raise StreamError("focus_interval before the histogram was initialised")
-        return (self._inner.low, self._inner.high)
+    def _independent_value(self) -> float:
+        return self._moments.mean
 
-    @property
-    def histogram(self) -> BucketArray | None:
-        """The fine buckets over the focus interval (None while warming up)."""
-        return self._inner
+    def _span(self) -> tuple[float, float]:
+        # Landmark min/max are exactly trackable: the tail spans are exact.
+        return (self._moments.minimum, self._moments.maximum)
+
+    def _ingest(self, record: Record) -> None:
+        self._moments.push(record.x)
+        return None
 
     def _target_interval(self) -> tuple[float, float]:
-        mu = self._moments.mean
-        half = self._k * self._moments.standard_error
-        if self._query.two_sided:
-            # The region of interest is the band's *edges* mu +/- eps; the
-            # fine buckets must cover the whole band plus the CLT slack so
-            # both truncation points interpolate fine buckets.
-            half += self._query.epsilon
-        xmin, xmax = self._moments.minimum, self._moments.maximum
-        if half <= 0.0:  # all values equal so far
-            half = max(abs(mu) * 1e-9, 1e-12)
-        lo = max(mu - half, xmin)
-        hi = min(mu + half, xmax)
-        if hi <= lo:
-            # Mean pinned at the data boundary: keep a sliver around it.
-            span = max((xmax - xmin) * 1e-6, abs(mu) * 1e-9, 1e-12)
-            lo = max(mu - span, xmin)
-            hi = lo + 2.0 * span
-        return (lo, hi)
+        return self._clt_interval(self._k * self._moments.standard_error)
 
-    # ------------------------------------------------------------- warm-up
-
-    def _warmup(self, record: Record) -> None:
-        assert self._buffer is not None
-        self._buffer.append(record)
-        if len(self._buffer) >= self._m:
-            self._build_histogram()
-
-    def _partition(self, lo: float, hi: float) -> list[float]:
-        if self._policy == "uniform":
-            return uniform_boundaries(lo, hi, self._inner_m)
+    def _quantile_edges(self, lo: float, hi: float) -> list[float]:
         return normal_quantile_boundaries(
             self._moments.mean, self._moments.standard_error, self._inner_m, lo, hi
         )
 
-    def _build_histogram(self) -> None:
-        assert self._buffer is not None
-        lo, hi = self._target_interval()
-        self._inner = BucketArray(self._partition(lo, hi))
-        if self._obs.enabled:
-            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
-        for record in self._buffer:
-            self._route(record)
-        self._buffer = None
-
-    # -------------------------------------------------------- steady state
-
-    def _route(self, record: Record) -> None:
-        assert self._inner is not None
-        contribution = Mass(1.0, record.y)
-        if record.x < self._inner.low:
-            self._left_tail += contribution
-        elif record.x > self._inner.high:
-            self._right_tail += contribution
-        else:
-            self._inner.add(record.x, record.y)
-            self._after_add()
-
-    def _after_add(self) -> None:
-        if self._policy != "quantile":
-            return
-        self._adds_since_swap += 1
-        if self._adds_since_swap >= self._swap_period:
-            self._adds_since_swap = 0
-            assert self._inner is not None
-            merge_split_swap(self._inner, sink=self._obs)
-
-    def _should_reallocate(self, lo: float, hi: float) -> bool:
-        # Both strategies gate on material drift: the mean moves a little
-        # at every step, and reallocating on each of those moves would
-        # re-interpolate all focus mass thousands of times (wholesale
-        # especially diffuses under repeated redistribution).  Wholesale vs
-        # piecemeal differ in *how* they move the buckets, not in when.
-        assert self._inner is not None
-        bucket_width = (self._inner.high - self._inner.low) / self._inner_m
-        tolerance = self._drift_tolerance * bucket_width
-        return (
-            abs(lo - self._inner.low) > tolerance or abs(hi - self._inner.high) > tolerance
-        )
-
-    def _reallocate(self, lo: float, hi: float) -> None:
-        assert self._inner is not None
-        old_lo, old_hi = self._inner.low, self._inner.high
-        xmin, xmax = self._moments.minimum, self._moments.maximum
-
-        disjoint = hi <= old_lo or lo >= old_hi
-        if self._obs.enabled:
-            # Threshold drift: how far the focus boundaries moved in total.
-            self._obs.emit(
-                "region.shift",
-                drift=abs(lo - old_lo) + abs(hi - old_hi),
-                low=lo,
-                high=hi,
-                disjoint=float(disjoint),
-            )
-        if self._strategy == "wholesale" or disjoint:
-            # Quantile policy partitions by the fitted normal (the paper's
-            # strategy 2), so pass the edges explicitly.  A disjoint jump
-            # (possible with very narrow focus intervals) also takes this
-            # path regardless of strategy: wholesale redistribution handles
-            # non-overlapping ranges naturally — all old mass spills to the
-            # tails — where piecemeal truncation cannot.
-            explicit = self._partition(lo, hi) if self._policy == "quantile" else None
-            new_inner, spill_low, spill_high = wholesale_reallocate(
-                self._inner, lo, hi, self._inner_m, "uniform", edges=explicit, sink=self._obs
-            )
-        else:
-            new_inner, spill_low, spill_high = piecemeal_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
-            )
-
-        self._left_tail += spill_low
-        self._right_tail += spill_high
-
-        # Focus grew into a tail: pull the tail's pro-rata share inside.
-        if lo < old_lo:
-            span = old_lo - xmin  # left tail covers [xmin, old_lo]
-            fraction = 1.0 if span <= 0.0 else min((old_lo - lo) / span, 1.0)
-            share = self._left_tail.scaled(fraction)
-            self._left_tail = Mass(
-                self._left_tail.count - share.count, self._left_tail.weight - share.weight
-            )
-            pour_uniform(new_inner, lo, old_lo, share)
-        if hi > old_hi:
-            span = xmax - old_hi  # right tail covers [old_hi, xmax]
-            fraction = 1.0 if span <= 0.0 else min((hi - old_hi) / span, 1.0)
-            share = self._right_tail.scaled(fraction)
-            self._right_tail = Mass(
-                self._right_tail.count - share.count, self._right_tail.weight - share.weight
-            )
-            pour_uniform(new_inner, old_hi, hi, share)
-
-        self._inner = new_inner
-
-    def update(self, record: Record) -> float:
-        """Consume the next tuple; return the current estimate."""
-        ensure_finite(record)
-        self._moments.push(record.x)
-        if self._buffer is not None:
-            self._warmup(record)
-            return self.estimate()
-        lo, hi = self._target_interval()
-        if self._should_reallocate(lo, hi):
-            self._reallocate(lo, hi)
-        self._route(record)
-        return self.estimate()
-
-    def obs_state(self) -> dict[str, float]:
-        """Live state-size gauges for the instrumentation layer."""
-        return {
-            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
-            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
-            "tail_count": self._left_tail.count + self._right_tail.count,
-        }
-
-    # -------------------------------------------------------------- answer
-
-    def estimate(self) -> float:
-        """Estimated dependent aggregate over the qualifying AVG band."""
-        if self._buffer is not None:
-            mean = self._moments.mean
-            qualifying = [r for r in self._buffer if self._query.qualifies(r.x, mean)]
-            count = float(len(qualifying))
-            weight = sum(r.y for r in qualifying)
-            return self._query.value_from(count, weight)
-
-        assert self._inner is not None
-        mu = self._moments.mean
-        xmin, xmax = self._moments.minimum, self._moments.maximum
-        if not self._query.two_sided and xmax <= mu:
-            # No observed value strictly exceeds the mean (only possible
-            # when every value equals it) — the strict predicate selects
-            # nothing, which interpolation over a point mass cannot see.
-            return 0.0
-        lo, hi = self._query.band(mu)
-        mass = band_mass(
-            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
-        ).clamped()
-        return self._query.value_from(mass.count, mass.weight)
-
-    def estimate_bounds(self) -> tuple[float, float]:
-        """Lower/upper bounds instead of the interpolated point estimate.
-
-        Implements the paper's bound-reporting remark: partially-overlapped
-        buckets are discarded (lower) or counted whole (upper).  Defined
-        for COUNT and SUM dependents (a ratio of bounds does not bound a
-        ratio, so AVG dependents are rejected).
-        """
-        if self._query.dependent == "avg":
-            raise ConfigurationError("estimate_bounds is undefined for AVG dependents")
-        if self._buffer is not None:
-            value = self.estimate()  # warm-up answers are exact
-            return (value, value)
-        assert self._inner is not None
-        mu = self._moments.mean
-        xmin, xmax = self._moments.minimum, self._moments.maximum
-        if not self._query.two_sided and xmax <= mu:
-            return (0.0, 0.0)
-        lo, hi = self._query.band(mu)
-        lower, upper = band_bounds(
-            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
-        )
-        return (
-            self._query.value_from(lower.count, lower.weight),
-            self._query.value_from(upper.count, upper.weight),
-        )
+    def _regime_break(self, lo: float, hi: float, old_lo: float, old_hi: float) -> bool:
+        # The mean cannot jump without the data moving it: only true
+        # disjointness (possible with very narrow focus intervals) forces
+        # the wholesale path.
+        return hi <= old_lo or lo >= old_hi

@@ -20,30 +20,37 @@ fires:
 During warm-up the estimator buffers in-region tuples exactly (the paper's
 InitializeHistogram reads until m tuples survive the purges), so early
 answers are exact.
+
+This is the leanest subclass of the shared kernel
+(:mod:`repro.core.focused`): no tails (every bucket is a focus bucket),
+no drift deadband (the region moves only on a new extremum), and a
+purge-as-you-go warmup.  Because the steady-state step is so small —
+compare, maybe shift, add, total — it also carries the kernel's hottest
+``update_many`` loop, with every attribute and bound method resolved once
+per batch.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
+
+from repro.core.focused import STRATEGIES, FocusedEstimatorBase
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
 from repro.histograms.bucket import BucketArray
-from repro.histograms.maintenance import merge_split_swap
 from repro.histograms.partition import (
     quantile_boundaries_from_values,
     uniform_boundaries,
 )
-from repro.histograms.reallocate import (
-    POLICIES,
-    piecemeal_reallocate,
-    wholesale_reallocate,
-)
-from repro.obs.sink import NULL_SINK, ObsSink
-from repro.streams.model import Record, ensure_finite
+from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
+from repro.obs.sink import ObsSink
+from repro.streams.model import Record
 
-STRATEGIES = ("wholesale", "piecemeal")
+__all__ = ["LandmarkExtremaEstimator", "STRATEGIES"]
 
 
-class LandmarkExtremaEstimator:
+class LandmarkExtremaEstimator(FocusedEstimatorBase):
     """Single-pass estimator for ``AGG-D{y : x in extrema band}``, landmark scope.
 
     Parameters
@@ -83,33 +90,13 @@ class LandmarkExtremaEstimator:
             raise ConfigurationError(
                 "query has a sliding window; use SlidingExtremaEstimator"
             )
-        if num_buckets < 2:
-            raise ConfigurationError(f"num_buckets must be >= 2, got {num_buckets}")
-        if strategy not in STRATEGIES:
-            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
-        if policy not in POLICIES:
-            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
         if swap_period < 1:
             raise ConfigurationError(f"swap_period must be >= 1, got {swap_period}")
-
-        self._query = query
-        self._m = num_buckets
-        self._strategy = strategy
-        self._policy = policy
-        self._swap_period = swap_period
-        self._obs = sink if sink is not None else NULL_SINK
-
         self._extremum: float | None = None
-        self._buffer: list[Record] | None = []  # warm-up; None once built
-        self._hist: BucketArray | None = None
         self._region: tuple[float, float] | None = None
-        self._adds_since_swap = 0
 
     # ------------------------------------------------------------ plumbing
-
-    @property
-    def query(self) -> CorrelatedQuery:
-        return self._query
 
     @property
     def extremum(self) -> float:
@@ -125,10 +112,8 @@ class LandmarkExtremaEstimator:
             raise StreamError("region before any tuple was observed")
         return self._region
 
-    @property
-    def histogram(self) -> BucketArray | None:
-        """The live bucket array (None while warming up)."""
-        return self._hist
+    def _independent_value(self) -> float:
+        return self.extremum
 
     def _region_for(self, extremum: float) -> tuple[float, float]:
         if extremum < 0.0:
@@ -151,7 +136,10 @@ class LandmarkExtremaEstimator:
 
     # ------------------------------------------------------------- warm-up
 
-    def _warmup(self, record: Record) -> None:
+    def _warmup_step(self, record: Record) -> None:
+        # The paper's InitializeHistogram reads until m tuples survive the
+        # purges: a new extremum evicts the out-of-region prefix, and only
+        # in-region tuples are admitted at all.
         assert self._buffer is not None
         if self._is_new_extremum(record.x):
             self._extremum = record.x
@@ -164,42 +152,43 @@ class LandmarkExtremaEstimator:
         if len(self._buffer) >= self._m:
             self._build_histogram()
 
-    def _build_histogram(self) -> None:
-        assert self._buffer is not None and self._region is not None
-        low, high = self._region
-        if self._policy == "uniform":
-            edges = uniform_boundaries(low, high, self._m)
-        else:
-            edges = quantile_boundaries_from_values(
-                [r.x for r in self._buffer], self._m, low, high
-            )
-        self._hist = BucketArray(edges)
+    def _build_interval(self) -> tuple[float, float]:
+        assert self._region is not None
+        return self._region
+
+    def _quantile_edges(self, lo: float, hi: float) -> list[float]:
+        assert self._buffer is not None
+        return quantile_boundaries_from_values(
+            [r.x for r in self._buffer], self._inner_m, lo, hi
+        )
+
+    def _seed_histogram(self) -> None:
+        # Seed without swap maintenance: the quantile edges were just fit
+        # to exactly these values.
+        assert self._buffer is not None and self._inner is not None
         for record in self._buffer:
-            self._hist.add(record.x, record.y)
-        self._buffer = None
-        if self._obs.enabled:
-            self._obs.emit("hist.build", buckets=float(self._m), low=low, high=high)
+            self._inner.add(record.x, record.y)
 
     # -------------------------------------------------------- steady state
 
     def _reinitialize(self, new_region: tuple[float, float]) -> None:
         """condition_1: restart the histogram empty over the new region."""
         low, high = new_region
-        self._hist = BucketArray(uniform_boundaries(low, high, self._m))
+        self._inner = BucketArray(uniform_boundaries(low, high, self._m))
         if self._obs.enabled:
             self._obs.emit("hist.reinit", low=low, high=high)
 
     def _reallocate(self, new_region: tuple[float, float]) -> None:
         """condition_2: move the buckets; far-side spill is discarded."""
-        assert self._hist is not None
+        assert self._inner is not None
         low, high = new_region
         if self._strategy == "wholesale":
-            self._hist, _, _ = wholesale_reallocate(
-                self._hist, low, high, self._m, self._policy, sink=self._obs
+            self._inner, _, _ = wholesale_reallocate(
+                self._inner, low, high, self._m, self._policy, sink=self._obs
             )
         else:
-            self._hist, _, _ = piecemeal_reallocate(
-                self._hist, low, high, self._m, self._policy, sink=self._obs
+            self._inner, _, _ = piecemeal_reallocate(
+                self._inner, low, high, self._m, self._policy, sink=self._obs
             )
 
     def _shift_region(self, x: float) -> None:
@@ -232,40 +221,85 @@ class LandmarkExtremaEstimator:
         self._extremum = x
         self._region = new_region
 
-    def update(self, record: Record) -> float:
-        """Consume the next tuple; return the current estimate."""
-        ensure_finite(record)
-        if self._buffer is not None:
-            self._warmup(record)
-            return self.estimate()
-
-        assert self._region is not None and self._hist is not None
+    def _step(self, record: Record, carrier: object) -> None:
+        assert self._region is not None and self._inner is not None
         low, high = self._region
         if self._is_new_extremum(record.x):
             self._shift_region(record.x)
-            self._hist.add(record.x, record.y)
+            self._inner.add(record.x, record.y)
             self._after_add()
         elif low <= record.x <= high:
-            self._hist.add(record.x, record.y)
+            self._inner.add(record.x, record.y)
             self._after_add()
         # else: monotonicity — the tuple can never qualify; discard.
-        return self.estimate()
 
-    def _after_add(self) -> None:
-        if self._policy != "quantile":
-            return
-        self._adds_since_swap += 1
-        if self._adds_since_swap >= self._swap_period:
-            self._adds_since_swap = 0
-            assert self._hist is not None
-            merge_split_swap(self._hist, sink=self._obs)
-
-    def obs_state(self) -> dict[str, float]:
-        """Live state-size gauges for the instrumentation layer."""
-        return {
-            "buckets": float(self._hist.num_buckets) if self._hist is not None else 0.0,
-            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
-        }
+    def _update_batch(self, records: list[Record], start: int, outputs: list[float]) -> None:
+        # The steady-state step is tiny (compare, maybe shift, add, total),
+        # so per-record attribute resolution dominates: hoist every lookup
+        # and bound method out of the loop, inline the bucket add (the
+        # region check already proved x in range, bar float disagreement
+        # between region and edges, which falls back to the checked path),
+        # and fold ``total().clamped()`` + ``value_from`` into the one sum
+        # the dependent aggregate actually reads.  Histogram bindings are
+        # refreshed only when a region shift or swap replaces the array.
+        query = self._query
+        is_min = query.independent == "min"
+        quantile = self._policy == "quantile"
+        dep_count = query.dependent == "count"
+        dep_sum = query.dependent == "sum"
+        append = outputs.append
+        isfinite = math.isfinite
+        inner = self._inner
+        assert inner is not None and self._region is not None
+        counts = inner._counts
+        weights = inner._weights
+        edges = inner._edges
+        low, high = self._region
+        extremum = self._extremum
+        for i in range(start, len(records)):
+            record = records[i]
+            x = record.x
+            y = record.y
+            if not (isfinite(x) and isfinite(y)):
+                raise StreamError(f"non-finite record {record!r}")
+            if (x < extremum) if is_min else (x > extremum):
+                self._shift_region(x)
+                inner = self._inner
+                inner.add(x, y)
+                if quantile:
+                    self._after_add()
+                    inner = self._inner
+                counts = inner._counts
+                weights = inner._weights
+                edges = inner._edges
+                extremum = self._extremum
+                low, high = self._region
+            elif low <= x <= high:
+                if edges[0] <= x <= edges[-1]:
+                    index = (
+                        len(counts) - 1 if x == edges[-1] else bisect_right(edges, x) - 1
+                    )
+                    counts[index] += 1.0
+                    weights[index] += y
+                else:
+                    inner.add(x, y)  # out of histogram range: locate's error path
+                if quantile:
+                    self._after_add()
+                    inner = self._inner
+                    counts = inner._counts
+                    weights = inner._weights
+                    edges = inner._edges
+            # else: monotonicity — the tuple can never qualify; discard.
+            if dep_count:
+                c = sum(counts)
+                append(c if c >= 0.0 else 0.0)
+            elif dep_sum:
+                w = sum(weights)
+                append(w if w >= 0.0 else 0.0)
+            else:
+                c = sum(counts)
+                w = sum(weights)
+                append((w if w >= 0.0 else 0.0) / c if c > 0.0 else 0.0)
 
     # -------------------------------------------------------------- answer
 
@@ -279,6 +313,13 @@ class LandmarkExtremaEstimator:
             count = float(len(self._buffer))
             weight = sum(r.y for r in self._buffer)
             return self._query.value_from(count, weight)
-        assert self._hist is not None
-        total = self._hist.total().clamped()
+        assert self._inner is not None
+        total = self._inner.total().clamped()
         return self._query.value_from(total.count, total.weight)
+
+    def _bounds_from_summary(self) -> tuple[float, float]:
+        # The retained total carries no partial-bucket interpolation: the
+        # band *is* the bucketed region, so the point estimate bounds
+        # itself (reallocation truncation error aside, as everywhere).
+        value = self.estimate()
+        return (value, value)

@@ -17,29 +17,37 @@ Differences from the landmark estimator:
   maintainable in constant space;
 * every step deletes the expiring tuple from the bucket currently covering
   its value (paper Figure 11's delete step).
+
+Structurally this class is the landmark-AVG estimator plus the ring
+window: :class:`~repro.core.focused.RingWindowMixin` contributes the
+side-routed expiry and periodic from-window rebuilds,
+:class:`~repro.core.focused.TwoTailSummaryMixin` the tail exchange and
+band-mass answers.  Only the window-scaled CLT target, the removable
+moments/trackers, and the wholesale exact-drift trigger live here.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.core.landmark_avg import band_bounds, band_mass, pour_uniform
+from repro.core.focused import (
+    STRATEGIES,
+    FocusedEstimatorBase,
+    RingWindowMixin,
+    TwoTailSummaryMixin,
+)
 from repro.core.query import CorrelatedQuery
-from repro.exceptions import ConfigurationError, StreamError
-from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
-from repro.histograms.maintenance import merge_split_swap
-from repro.histograms.partition import normal_quantile_boundaries, uniform_boundaries
-from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
-from repro.obs.sink import NULL_SINK, ObsSink
-from repro.streams.model import Record, ensure_finite
+from repro.exceptions import ConfigurationError
+from repro.histograms.partition import normal_quantile_boundaries
+from repro.obs.sink import ObsSink
+from repro.streams.model import Record
 from repro.structures.intervals import IntervalExtremaTracker
-from repro.structures.ring_buffer import RingBuffer
 from repro.structures.welford import RunningMoments
 
-STRATEGIES = ("wholesale", "piecemeal")
+__all__ = ["SlidingAvgEstimator", "STRATEGIES"]
 
 
-class SlidingAvgEstimator:
+class SlidingAvgEstimator(RingWindowMixin, TwoTailSummaryMixin, FocusedEstimatorBase):
     """Single-pass estimator for ``AGG-D{y : x > AVG(x)}`` over a sliding window.
 
     Parameters
@@ -93,348 +101,51 @@ class SlidingAvgEstimator:
             )
         if not query.is_sliding:
             raise ConfigurationError("query has a landmark scope; use LandmarkAvgEstimator")
-        if num_buckets < 4:
-            raise ConfigurationError(
-                f"num_buckets must be >= 4 (2 tails + >= 2 focus), got {num_buckets}"
-            )
-        if strategy not in STRATEGIES:
-            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
-        if policy not in POLICIES:
-            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
         window = query.window
         assert window is not None
-        if num_buckets > window:
-            raise ConfigurationError(
-                f"num_buckets ({num_buckets}) cannot exceed window ({window})"
-            )
-        if num_intervals > window:
-            raise ConfigurationError(
-                f"num_intervals ({num_intervals}) cannot exceed window ({window})"
-            )
+        self._init_ring(window, num_buckets, num_intervals, rebuild_period)
         if k_std <= 0:
             raise ConfigurationError(f"k_std must be positive, got {k_std}")
-
-        self._query = query
-        self._m = num_buckets
-        self._inner_m = num_buckets - 2
-        self._strategy = strategy
-        self._policy = policy
         self._k = k_std
         self._drift_tolerance = drift_tolerance
-        self._swap_period = swap_period
-        self._window = window
-        if rebuild_period is None:
-            rebuild_period = max(window // 10, num_buckets)
-        if rebuild_period < 0:
-            raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
-        self._rebuild_period = rebuild_period
-        self._steps_since_rebuild = 0
-        self._obs = sink if sink is not None else NULL_SINK
-
         self._moments = RunningMoments()
         self._min_tracker = IntervalExtremaTracker(window, num_intervals, mode="min")
         self._max_tracker = IntervalExtremaTracker(window, num_intervals, mode="max")
-        # Each cell is a mutable [record, side] pair: the side ('L'eft tail,
-        # 'I'nner, 'R'ight tail) the record's mass went to at insertion, so
-        # expiry decrements the same account it credited.  Routing deletions
-        # by the *current* region instead would leave misclassified mass
-        # stranded in a tail forever (and drive the other tail negative).
-        self._ring: RingBuffer[list] = RingBuffer(window)
-
-        self._buffer: list[Record] | None = []
-        self._inner: BucketArray | None = None
-        self._left_tail = ZERO_MASS
-        self._right_tail = ZERO_MASS
-        self._adds_since_swap = 0
-
-    # ------------------------------------------------------------ plumbing
-
-    @property
-    def query(self) -> CorrelatedQuery:
-        return self._query
+        self._init_two_tails()
 
     @property
     def mean(self) -> float:
         """The exact mean of the live window."""
         return self._moments.mean
 
-    @property
-    def focus_interval(self) -> tuple[float, float]:
-        if self._inner is None:
-            raise StreamError("focus_interval before the histogram was initialised")
-        return (self._inner.low, self._inner.high)
+    def _independent_value(self) -> float:
+        return self._moments.mean
 
-    @property
-    def histogram(self) -> BucketArray | None:
-        return self._inner
-
-    def _bounds(self) -> tuple[float, float]:
+    def _span(self) -> tuple[float, float]:
         """Approximate window min/max (tail spans) from the trackers."""
         return (self._min_tracker.extremum(), self._max_tracker.extremum())
 
+    def _push_trackers(self, record: Record) -> None:
+        self._moments.push(record.x)
+        self._min_tracker.push(record.x)
+        self._max_tracker.push(record.x)
+
+    def _forget(self, record: Record) -> None:
+        self._moments.remove(record.x)
+
     def _target_interval(self) -> tuple[float, float]:
-        mu = self._moments.mean
-        half = self._k * self._moments.std / math.sqrt(self._window)
-        if self._query.two_sided:
-            # Cover the whole band plus slack, as in the landmark version:
-            # the truncation points are the band edges mu +/- eps.
-            half += self._query.epsilon
-        xmin, xmax = self._bounds()
-        if half <= 0.0:
-            half = max(abs(mu) * 1e-9, 1e-12)
-        lo = max(mu - half, xmin)
-        hi = min(mu + half, xmax)
-        if hi <= lo:
-            span = max((xmax - xmin) * 1e-6, abs(mu) * 1e-9, 1e-12)
-            lo = max(mu - span, xmin)
-            hi = lo + 2.0 * span
-        return (lo, hi)
+        # The confidence interval does not shrink: sqrt(w), not sqrt(n).
+        return self._clt_interval(self._k * self._moments.std / math.sqrt(self._window))
 
-    # ------------------------------------------------------------- warm-up
-
-    def _warmup(self, record: Record) -> None:
-        assert self._buffer is not None
-        self._buffer.append(record)
-        if len(self._buffer) >= self._m:
-            self._build_histogram()
-
-    def _partition(self, lo: float, hi: float) -> list[float]:
-        if self._policy == "uniform":
-            return uniform_boundaries(lo, hi, self._inner_m)
+    def _quantile_edges(self, lo: float, hi: float) -> list[float]:
         scale = self._moments.std / math.sqrt(self._window)
         return normal_quantile_boundaries(self._moments.mean, scale, self._inner_m, lo, hi)
-
-    def _build_histogram(self) -> None:
-        lo, hi = self._target_interval()
-        self._inner = BucketArray(self._partition(lo, hi))
-        if self._obs.enabled:
-            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
-        for cell in self._ring:  # warm-up is shorter than the window
-            cell[1] = self._route_add(cell[0])
-        self._buffer = None
-
-    # -------------------------------------------------------- steady state
-
-    def _classify(self, x: float) -> str:
-        assert self._inner is not None
-        if x < self._inner.low:
-            return "L"
-        if x > self._inner.high:
-            return "R"
-        return "I"
-
-    def _route_add(self, record: Record) -> str:
-        assert self._inner is not None
-        side = self._classify(record.x)
-        if side == "L":
-            self._left_tail += Mass(1.0, record.y)
-        elif side == "R":
-            self._right_tail += Mass(1.0, record.y)
-        else:
-            self._inner.add(record.x, record.y)
-            self._after_add()
-        return side
-
-    def _route_remove(self, record: Record, side: str) -> None:
-        """Expire a record from the account its mass was credited to."""
-        assert self._inner is not None
-        if side == "L":
-            self._left_tail = Mass(
-                self._left_tail.count - 1.0, self._left_tail.weight - record.y
-            )
-        elif side == "R":
-            self._right_tail = Mass(
-                self._right_tail.count - 1.0, self._right_tail.weight - record.y
-            )
-        else:
-            self._inner.remove(record.x, record.y)
-
-    def _after_add(self) -> None:
-        if self._policy != "quantile":
-            return
-        self._adds_since_swap += 1
-        if self._adds_since_swap >= self._swap_period:
-            self._adds_since_swap = 0
-            assert self._inner is not None
-            merge_split_swap(self._inner, sink=self._obs)
 
     def _should_reallocate(self, lo: float, hi: float) -> bool:
         assert self._inner is not None
         if self._strategy == "wholesale":
+            # Wholesale re-partitions from scratch anyway; track the
+            # window-scaled target exactly whenever it moves at all.
             return lo != self._inner.low or hi != self._inner.high
-        bucket_width = (self._inner.high - self._inner.low) / self._inner_m
-        tolerance = self._drift_tolerance * bucket_width
-        return abs(lo - self._inner.low) > tolerance or abs(hi - self._inner.high) > tolerance
-
-    def _reallocate(self, lo: float, hi: float) -> None:
-        assert self._inner is not None
-        old_lo, old_hi = self._inner.low, self._inner.high
-        xmin, xmax = self._bounds()
-
-        overlap = min(hi, old_hi) - max(lo, old_lo)
-        union = max(hi, old_hi) - min(lo, old_lo)
-        near_disjoint = overlap <= 0.25 * union
-        if self._obs.enabled:
-            # Threshold drift: how far the focus boundaries moved in total.
-            self._obs.emit(
-                "region.shift",
-                drift=abs(lo - old_lo) + abs(hi - old_hi),
-                low=lo,
-                high=hi,
-                disjoint=float(near_disjoint),
-            )
-        if near_disjoint:
-            # Regime change: the focus either jumped past its old position
-            # or exploded/collapsed in width (a dominant value entered or
-            # left the window, blowing up the deviation).  This is the
-            # sliding analogue of the paper's InitializeHistogram: restart
-            # the summary over the new region from the live window.
-            # Incremental tail arithmetic would strand previously
-            # correctly-classified mass on what is now the wrong side.
-            self._rebuild_from_window(lo, hi, reason="regime")
-            return
-
-        if self._strategy == "wholesale":
-            explicit = self._partition(lo, hi) if self._policy == "quantile" else None
-            new_inner, spill_low, spill_high = wholesale_reallocate(
-                self._inner, lo, hi, self._inner_m, "uniform", edges=explicit, sink=self._obs
-            )
-        else:
-            new_inner, spill_low, spill_high = piecemeal_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
-            )
-
-        self._left_tail += spill_low
-        self._right_tail += spill_high
-
-        if lo < old_lo:
-            span = old_lo - xmin
-            fraction = 1.0 if span <= 0.0 else min((old_lo - lo) / span, 1.0)
-            share = self._left_tail.scaled(fraction)
-            self._left_tail = Mass(
-                self._left_tail.count - share.count, self._left_tail.weight - share.weight
-            )
-            pour_uniform(new_inner, lo, old_lo, share)
-        if hi > old_hi:
-            span = xmax - old_hi
-            fraction = 1.0 if span <= 0.0 else min((hi - old_hi) / span, 1.0)
-            share = self._right_tail.scaled(fraction)
-            self._right_tail = Mass(
-                self._right_tail.count - share.count, self._right_tail.weight - share.weight
-            )
-            pour_uniform(new_inner, old_hi, hi, share)
-
-        self._inner = new_inner
-
-    def _rebuild_from_window(self, lo: float, hi: float, reason: str = "regime") -> None:
-        """Restart the summary over ``[lo, hi]`` from the live window.
-
-        Runs in O(w), but only on disjoint focus jumps (rare regime
-        changes); the per-tuple path stays O(m).
-        """
-        if self._obs.enabled:
-            self._obs.emit(
-                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=float(len(self._ring))
-            )
-        self._inner = BucketArray(self._partition(lo, hi))
-        self._left_tail = ZERO_MASS
-        self._right_tail = ZERO_MASS
-        self._steps_since_rebuild = 0
-        for cell in self._ring:
-            record = cell[0]
-            cell[1] = self._route_add(record)
-
-    def update(self, record: Record) -> float:
-        """Consume the next tuple (and expire the outgoing one); return the estimate."""
-        ensure_finite(record)
-        self._moments.push(record.x)
-        self._min_tracker.push(record.x)
-        self._max_tracker.push(record.x)
-        cell: list = [record, None]
-        evicted = self._ring.push(cell)
-        if evicted is not None:
-            self._moments.remove(evicted[0].x)
-
-        if self._buffer is not None:
-            self._warmup(record)
-            return self.estimate()
-
-        # Expire first (side-routed, so independent of the region), then
-        # move the region, then place the new arrival.  A regime-change or
-        # periodic rebuild routes the new arrival itself — the
-        # `cell[1] is None` check avoids adding it twice.
-        if evicted is not None:
-            self._route_remove(evicted[0], evicted[1])
-            if self._obs.enabled:
-                self._obs.emit("window.expire", count=1.0, side=evicted[1])
-        lo, hi = self._target_interval()
-        self._steps_since_rebuild += 1
-        if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
-            self._rebuild_from_window(lo, hi, reason="periodic")
-        elif self._should_reallocate(lo, hi):
-            self._reallocate(lo, hi)
-        if cell[1] is None:
-            cell[1] = self._route_add(record)
-        return self.estimate()
-
-    def obs_state(self) -> dict[str, float]:
-        """Live state-size gauges for the instrumentation layer."""
-        return {
-            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
-            "ring": float(len(self._ring)),
-            "tail_count": self._left_tail.count + self._right_tail.count,
-            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
-        }
-
-    # -------------------------------------------------------------- answer
-
-    def estimate(self) -> float:
-        """Estimated dependent aggregate over the current window."""
-        if self._buffer is not None:
-            mean = self._moments.mean
-            qualifying = [r for r in self._buffer if self._query.qualifies(r.x, mean)]
-            count = float(len(qualifying))
-            weight = sum(r.y for r in qualifying)
-            return self._query.value_from(count, weight)
-
-        assert self._inner is not None
-        mu = self._moments.mean
-        xmin, xmax = self._bounds()
-        if not self._query.two_sided and xmax <= mu:
-            # The tracked max never understates the window max, so nothing
-            # in the window strictly exceeds the mean (an all-equal window)
-            # — the strict predicate selects nothing.
-            return 0.0
-        lo, hi = self._query.band(mu)
-        mass = band_mass(
-            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
-        ).clamped()
-        return self._query.value_from(mass.count, mass.weight)
-
-    def estimate_bounds(self) -> tuple[float, float]:
-        """Lower/upper bounds instead of the interpolated point estimate.
-
-        See :meth:`LandmarkAvgEstimator.estimate_bounds
-        <repro.core.landmark_avg.LandmarkAvgEstimator.estimate_bounds>`;
-        over a sliding window the bounds additionally inherit the
-        deletion-approximation error, so they bracket the *summary's* mass,
-        not a guaranteed envelope of the exact answer.
-        """
-        if self._query.dependent == "avg":
-            raise ConfigurationError("estimate_bounds is undefined for AVG dependents")
-        if self._buffer is not None:
-            value = self.estimate()
-            return (value, value)
-        assert self._inner is not None
-        mu = self._moments.mean
-        xmin, xmax = self._bounds()
-        if not self._query.two_sided and xmax <= mu:
-            return (0.0, 0.0)
-        lo, hi = self._query.band(mu)
-        lower, upper = band_bounds(
-            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
-        )
-        return (
-            self._query.value_from(lower.count, lower.weight),
-            self._query.value_from(upper.count, upper.weight),
-        )
+        return super()._should_reallocate(lo, hi)

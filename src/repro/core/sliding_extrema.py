@@ -20,26 +20,31 @@ Each step both inserts the arriving tuple and deletes the expiring one
 (paper Figure 11); deletions are routed to the bucket currently covering
 the expired value, which is the accepted approximation when boundaries have
 moved since insertion.
+
+The window plumbing (side-routed expiry, periodic rebuilds, reseeding)
+comes from :class:`~repro.core.focused.RingWindowMixin`; unlike the AVG
+estimators this class keeps a *single* catch-all tail, so it carries its
+own routing, reallocation (with the clamp-back spill conservation), and
+``estimate_leq``/``estimate_geq`` answer path.
 """
 
 from __future__ import annotations
 
+from repro.core.focused import STRATEGIES, FocusedEstimatorBase, RingWindowMixin
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
-from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
-from repro.histograms.maintenance import merge_split_swap
+from repro.histograms.bucket import ZERO_MASS, Mass
+from repro.histograms.mass import pour_uniform
 from repro.histograms.partition import quantile_boundaries_from_values, uniform_boundaries
-from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
-from repro.core.landmark_avg import pour_uniform
-from repro.obs.sink import NULL_SINK, ObsSink
-from repro.streams.model import Record, ensure_finite
+from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
+from repro.obs.sink import ObsSink
+from repro.streams.model import Record
 from repro.structures.intervals import IntervalExtremaTracker
-from repro.structures.ring_buffer import RingBuffer
 
-STRATEGIES = ("wholesale", "piecemeal")
+__all__ = ["SlidingExtremaEstimator", "STRATEGIES"]
 
 
-class SlidingExtremaEstimator:
+class SlidingExtremaEstimator(RingWindowMixin, FocusedEstimatorBase):
     """Single-pass estimator for extrema-band aggregates over a sliding window.
 
     Parameters
@@ -77,6 +82,10 @@ class SlidingExtremaEstimator:
         ``window.expire``, ``realloc.*``, ``hist.swap``).
     """
 
+    _reserved = 1
+    _min_buckets = 3
+    _min_buckets_hint = " (catch-all + >= 2 focus)"
+
     def __init__(
         self,
         query: CorrelatedQuery,
@@ -97,76 +106,30 @@ class SlidingExtremaEstimator:
             raise ConfigurationError(
                 "query has a landmark scope; use LandmarkExtremaEstimator"
             )
-        if num_buckets < 3:
-            raise ConfigurationError(
-                f"num_buckets must be >= 3 (catch-all + >= 2 focus), got {num_buckets}"
-            )
-        if strategy not in STRATEGIES:
-            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
-        if policy not in POLICIES:
-            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
         window = query.window
         assert window is not None
-        if num_buckets > window:
-            raise ConfigurationError(
-                f"num_buckets ({num_buckets}) cannot exceed window ({window})"
-            )
-        if num_intervals > window:
-            raise ConfigurationError(
-                f"num_intervals ({num_intervals}) cannot exceed window ({window})"
-            )
-
-        self._query = query
+        self._init_ring(window, num_buckets, num_intervals, rebuild_period)
         self._mode = query.independent
-        self._m = num_buckets
-        self._inner_m = num_buckets - 1
-        self._strategy = strategy
-        self._policy = policy
         self._drift_tolerance = drift_tolerance
-        self._swap_period = swap_period
-        self._window = window
-        if rebuild_period is None:
-            rebuild_period = max(window // 10, num_buckets)
-        if rebuild_period < 0:
-            raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
-        self._rebuild_period = rebuild_period
-        self._steps_since_rebuild = 0
-        self._obs = sink if sink is not None else NULL_SINK
-
         self._tracked = IntervalExtremaTracker(window, num_intervals, mode=self._mode)
         opposite = "max" if self._mode == "min" else "min"
         self._opposite = IntervalExtremaTracker(window, num_intervals, mode=opposite)
-        # Each cell is a mutable [record, side] pair: the side ('I'nner or
-        # 'T'ail) the record's mass was credited to at insertion, so expiry
-        # debits the same account even if the region moved in between.
-        self._ring: RingBuffer[list] = RingBuffer(window)
-
-        self._buffer: list[Record] | None = []
-        self._inner: BucketArray | None = None
         self._tail = ZERO_MASS
-        self._adds_since_swap = 0
 
     # ------------------------------------------------------------ plumbing
-
-    @property
-    def query(self) -> CorrelatedQuery:
-        return self._query
 
     @property
     def extremum_estimate(self) -> float:
         """The interval tracker's estimate of the window extremum."""
         return self._tracked.extremum()
 
-    @property
-    def focus_interval(self) -> tuple[float, float]:
-        """Current focus band ``[lo, hi]`` (the finely bucketed region)."""
-        if self._inner is None:
-            raise StreamError("focus_interval before the histogram was initialised")
-        return (self._inner.low, self._inner.high)
+    def _independent_value(self) -> float:
+        return self._tracked.extremum()
 
-    @property
-    def histogram(self) -> BucketArray | None:
-        return self._inner
+    def _push_trackers(self, record: Record) -> None:
+        self._tracked.push(record.x)
+        self._opposite.push(record.x)
 
     def _target_interval(self) -> tuple[float, float]:
         extremum = self._tracked.extremum()
@@ -194,29 +157,18 @@ class SlidingExtremaEstimator:
             return (self._inner.high, max(far, self._inner.high))
         return (min(far, self._inner.low), self._inner.low)
 
-    # ------------------------------------------------------------- warm-up
-
-    def _warmup(self, record: Record) -> None:
+    def _quantile_edges(self, lo: float, hi: float) -> list[float]:
         assert self._buffer is not None
-        self._buffer.append(record)
-        if len(self._buffer) >= self._m:
-            self._build_histogram()
+        return quantile_boundaries_from_values(
+            [r.x for r in self._buffer], self._inner_m, lo, hi
+        )
 
-    def _build_histogram(self) -> None:
-        assert self._buffer is not None
-        lo, hi = self._target_interval()
+    def _rebuild_edges(self, lo: float, hi: float) -> list[float]:
         if self._policy == "uniform":
-            edges = uniform_boundaries(lo, hi, self._inner_m)
-        else:
-            edges = quantile_boundaries_from_values(
-                [r.x for r in self._buffer], self._inner_m, lo, hi
-            )
-        self._inner = BucketArray(edges)
-        if self._obs.enabled:
-            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
-        for cell in self._ring:  # warm-up is shorter than the window
-            cell[1] = self._route_add(cell[0])
-        self._buffer = None
+            return uniform_boundaries(lo, hi, self._inner_m)
+        return quantile_boundaries_from_values(
+            [cell[0].x for cell in self._ring], self._inner_m, lo, hi
+        )
 
     # -------------------------------------------------------- steady state
 
@@ -243,14 +195,8 @@ class SlidingExtremaEstimator:
         else:
             self._tail = Mass(self._tail.count - 1.0, self._tail.weight - record.y)
 
-    def _after_add(self) -> None:
-        if self._policy != "quantile":
-            return
-        self._adds_since_swap += 1
-        if self._adds_since_swap >= self._swap_period:
-            self._adds_since_swap = 0
-            assert self._inner is not None
-            merge_split_swap(self._inner, sink=self._obs)
+    def _reset_tails(self) -> None:
+        self._tail = ZERO_MASS
 
     def _should_reallocate(self, lo: float, hi: float) -> bool:
         # The paper's condition: reallocate when the *extremum* (the active
@@ -337,78 +283,17 @@ class SlidingExtremaEstimator:
 
         self._inner = new_inner
 
-    def _rebuild_from_window(self, lo: float, hi: float, reason: str = "regime") -> None:
-        """Restart the summary over ``[lo, hi]`` from the live window.
-
-        Runs in O(w), but only on rebuild events (near-disjoint jumps and
-        the periodic re-sort); the per-tuple path stays O(m).
-        """
-        if self._policy == "uniform":
-            edges = uniform_boundaries(lo, hi, self._inner_m)
-        else:
-            edges = quantile_boundaries_from_values(
-                [cell[0].x for cell in self._ring], self._inner_m, lo, hi
-            )
-        if self._obs.enabled:
-            self._obs.emit(
-                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=float(len(self._ring))
-            )
-        self._inner = BucketArray(edges)
-        self._tail = ZERO_MASS
-        self._steps_since_rebuild = 0
-        for cell in self._ring:
-            cell[1] = self._route_add(cell[0])
-
-    def update(self, record: Record) -> float:
-        """Consume the next tuple (and expire the outgoing one); return the estimate."""
-        ensure_finite(record)
-        self._tracked.push(record.x)
-        self._opposite.push(record.x)
-        cell: list = [record, None]
-        evicted = self._ring.push(cell)
-
-        if self._buffer is not None:
-            # Warm-up is shorter than the window, so nothing can evict.
-            self._warmup(record)
-            return self.estimate()
-
-        # Expire first (side-routed, so independent of the region), then
-        # move the region, then place the new arrival.  A rebuild routes
-        # the new arrival itself — the `cell[1] is None` check avoids
-        # adding it twice.
-        if evicted is not None:
-            self._route_remove(evicted[0], evicted[1])
-            if self._obs.enabled:
-                self._obs.emit("window.expire", count=1.0, side=evicted[1])
-        lo, hi = self._target_interval()
-        self._steps_since_rebuild += 1
-        if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
-            self._rebuild_from_window(lo, hi, reason="periodic")
-        elif self._should_reallocate(lo, hi):
-            self._reallocate(lo, hi)
-        if cell[1] is None:
-            cell[1] = self._route_add(record)
-        return self.estimate()
-
-    def obs_state(self) -> dict[str, float]:
-        """Live state-size gauges for the instrumentation layer."""
-        return {
-            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
-            "ring": float(len(self._ring)),
-            "tail_count": self._tail.count,
-            "warmup_buffer": float(len(self._buffer)) if self._buffer is not None else 0.0,
-        }
+    def _extra_gauges(self) -> dict[str, float]:
+        gauges = super()._extra_gauges()
+        gauges["tail_count"] = self._tail.count
+        return gauges
 
     # -------------------------------------------------------------- answer
 
     def estimate(self) -> float:
         """Estimated dependent aggregate over the current window."""
         if self._buffer is not None:
-            extremum = self._tracked.extremum()
-            qualifying = [r for r in self._buffer if self._query.qualifies(r.x, extremum)]
-            count = float(len(qualifying))
-            weight = sum(r.y for r in qualifying)
-            return self._query.value_from(count, weight)
+            return self._estimate_warmup()
 
         assert self._inner is not None
         threshold = self._query.threshold(self._tracked.extremum())
@@ -418,3 +303,29 @@ class SlidingExtremaEstimator:
             mass = self._inner.estimate_geq(max(threshold, self._inner.low))
         mass = mass.clamped()
         return self._query.value_from(mass.count, mass.weight)
+
+    def _bounds_from_summary(self) -> tuple[float, float]:
+        # Whole-bucket bounds on the focus mass (the catch-all never
+        # qualifies: it sits entirely beyond the threshold by
+        # construction).  Over a sliding window these bracket the
+        # *summary's* mass — deletion approximation included — not a
+        # guaranteed envelope of the exact answer.
+        assert self._inner is not None
+        threshold = self._query.threshold(self._tracked.extremum())
+        if self._mode == "min":
+            clipped = min(threshold, self._inner.high)
+            lower = self._inner.bound_leq(clipped, upper=False)
+            upper = self._inner.bound_leq(clipped, upper=True)
+        else:
+            clipped = max(threshold, self._inner.low)
+            total = self._inner.total()
+            below_hi = self._inner.bound_leq(clipped, upper=True)
+            below_lo = self._inner.bound_leq(clipped, upper=False)
+            lower = Mass(total.count - below_hi.count, total.weight - below_hi.weight)
+            upper = Mass(total.count - below_lo.count, total.weight - below_lo.weight)
+        lower = lower.clamped()
+        upper = upper.clamped()
+        return (
+            self._query.value_from(lower.count, lower.weight),
+            self._query.value_from(upper.count, upper.weight),
+        )

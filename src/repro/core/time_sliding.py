@@ -20,28 +20,33 @@ Differences from the count-window estimators:
 * both independents share one estimator class: the summary is always
   ``left tail + fine focus buckets + right tail`` and the answer is the
   band mass for the query's qualifying interval.
+
+The summary shape, routing, reallocation, and answers come from
+:class:`~repro.core.focused.TwoTailSummaryMixin`; the timestamped drain
+replaces the kernel's warmup/ring plumbing, so this class keeps its own
+``update(time, record)`` entry point and ingests batches via
+:meth:`update_many_timed`.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
+from collections.abc import Iterable
 
-from repro.core.landmark_avg import band_mass, pour_uniform
+from repro.core.focused import STRATEGIES, FocusedEstimatorBase, TwoTailSummaryMixin
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
-from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
 from repro.histograms.partition import uniform_boundaries
-from repro.histograms.reallocate import POLICIES, piecemeal_reallocate, wholesale_reallocate
-from repro.obs.sink import NULL_SINK, ObsSink
+from repro.obs.sink import ObsSink
 from repro.streams.model import Record, ensure_finite
 from repro.structures.time_intervals import TimeIntervalExtremaTracker
 from repro.structures.welford import RunningMoments
 
-STRATEGIES = ("wholesale", "piecemeal")
+__all__ = ["TimeSlidingEstimator", "STRATEGIES"]
 
 
-class TimeSlidingEstimator:
+class TimeSlidingEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
     """Single-pass correlated-aggregate estimator over a trailing duration.
 
     Parameters
@@ -75,6 +80,14 @@ class TimeSlidingEstimator:
         estimator.update(time=call.time, record=Record(call.duration))
     """
 
+    #: No merge/split swaps: rebuilds are always uniform over the live
+    #: window, so quantile maintenance would fight the periodic re-sort.
+    _swap_enabled = False
+    #: No warmup buffer (the live deque plays that role) …
+    _warmup_gauge = False
+    #: … and tuples arrive as (time, record) pairs, not bare records.
+    _timestamped = True
+
     def __init__(
         self,
         query: CorrelatedQuery,
@@ -95,48 +108,28 @@ class TimeSlidingEstimator:
             )
         if duration <= 0.0:
             raise ConfigurationError(f"duration must be positive, got {duration}")
-        if num_buckets < 4:
-            raise ConfigurationError(
-                f"num_buckets must be >= 4 (2 tails + >= 2 focus), got {num_buckets}"
-            )
-        if strategy not in STRATEGIES:
-            raise ConfigurationError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
-        if policy not in POLICIES:
-            raise ConfigurationError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self._init_kernel(query, num_buckets, strategy, policy, 32, sink)
         if k_std <= 0:
             raise ConfigurationError(f"k_std must be positive, got {k_std}")
         if rebuild_period < 0:
             raise ConfigurationError(f"rebuild_period must be >= 0, got {rebuild_period}")
-
-        self._query = query
         self._duration = duration
-        self._m = num_buckets
-        self._inner_m = num_buckets - 2
-        self._strategy = strategy
-        self._policy = policy
         self._k = k_std
         self._drift_tolerance = drift_tolerance
         self._rebuild_period = rebuild_period
-        self._steps_since_rebuild = 0
-        self._obs = sink if sink is not None else NULL_SINK
-
         self._min_tracker = TimeIntervalExtremaTracker(duration, num_intervals, "min")
         self._max_tracker = TimeIntervalExtremaTracker(duration, num_intervals, "max")
         self._moments = RunningMoments()
         # Cells are [time, record, side]; drained from the left by time.
         self._live: deque[list] = deque()
         self._last_time: float | None = None
-
-        self._inner: BucketArray | None = None
-        self._left_tail = ZERO_MASS
-        self._right_tail = ZERO_MASS
+        self._init_two_tails()
         self._warmup_target = num_buckets
+        # Warm-up here is "too few live tuples", not a buffered prefix:
+        # the kernel's warmup flag stays off and `_inner is None` gates.
+        self._buffer = None
 
     # ------------------------------------------------------------ plumbing
-
-    @property
-    def query(self) -> CorrelatedQuery:
-        return self._query
 
     @property
     def duration(self) -> float:
@@ -146,16 +139,6 @@ class TimeSlidingEstimator:
     def live_count(self) -> int:
         """Number of tuples currently inside the time window."""
         return len(self._live)
-
-    @property
-    def focus_interval(self) -> tuple[float, float]:
-        if self._inner is None:
-            raise StreamError("focus_interval before the histogram was initialised")
-        return (self._inner.low, self._inner.high)
-
-    @property
-    def histogram(self) -> BucketArray | None:
-        return self._inner
 
     def _independent_value(self) -> float:
         if self._query.independent == "min":
@@ -198,106 +181,24 @@ class TimeSlidingEstimator:
             hi = lo + 2.0 * span
         return (lo, hi)
 
-    # -------------------------------------------------------- mass routing
-
-    def _classify(self, x: float) -> str:
-        assert self._inner is not None
-        if x < self._inner.low:
-            return "L"
-        if x > self._inner.high:
-            return "R"
-        return "I"
-
-    def _route_add(self, record: Record) -> str:
-        assert self._inner is not None
-        side = self._classify(record.x)
-        if side == "L":
-            self._left_tail += Mass(1.0, record.y)
-        elif side == "R":
-            self._right_tail += Mass(1.0, record.y)
-        else:
-            self._inner.add(record.x, record.y)
-        return side
-
-    def _route_remove(self, record: Record, side: str) -> None:
-        assert self._inner is not None
-        if side == "L":
-            self._left_tail = Mass(
-                self._left_tail.count - 1.0, self._left_tail.weight - record.y
-            )
-        elif side == "R":
-            self._right_tail = Mass(
-                self._right_tail.count - 1.0, self._right_tail.weight - record.y
-            )
-        else:
-            self._inner.remove(record.x, record.y)
-
     # -------------------------------------------------------- reallocation
 
-    def _should_reallocate(self, lo: float, hi: float) -> bool:
-        assert self._inner is not None
-        bucket_width = (self._inner.high - self._inner.low) / self._inner_m
-        deadband = self._drift_tolerance * bucket_width
-        return abs(lo - self._inner.low) > deadband or abs(hi - self._inner.high) > deadband
+    def _wholesale_partition(self, lo: float, hi: float) -> tuple[str, list[float] | None]:
+        # No fitted-normal edges here: wholesale repartitions by its own
+        # policy (quantile included) from the live bucket contents.
+        return (self._policy, None)
 
-    def _rebuild_from_window(self, lo: float, hi: float, reason: str = "regime") -> None:
-        if self._obs.enabled:
-            self._obs.emit(
-                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=float(len(self._live))
-            )
-        self._inner = BucketArray(uniform_boundaries(lo, hi, self._inner_m))
-        self._left_tail = ZERO_MASS
-        self._right_tail = ZERO_MASS
-        self._steps_since_rebuild = 0
+    def _rebuild_edges(self, lo: float, hi: float) -> list[float]:
+        # Rebuilds are always uniform: the live window is re-routed through
+        # fresh buckets, and there is no buffered value list to fit.
+        return uniform_boundaries(lo, hi, self._inner_m)
+
+    def _population(self) -> float:
+        return float(len(self._live))
+
+    def _reseed_from_window(self) -> None:
         for cell in self._live:
             cell[2] = self._route_add(cell[1])
-
-    def _reallocate(self, lo: float, hi: float) -> None:
-        assert self._inner is not None
-        old_lo, old_hi = self._inner.low, self._inner.high
-        overlap = min(hi, old_hi) - max(lo, old_lo)
-        union = max(hi, old_hi) - min(lo, old_lo)
-        near_disjoint = overlap <= 0.25 * union
-        if self._obs.enabled:
-            # Threshold drift: how far the focus boundaries moved in total.
-            self._obs.emit(
-                "region.shift",
-                drift=abs(lo - old_lo) + abs(hi - old_hi),
-                low=lo,
-                high=hi,
-                disjoint=float(near_disjoint),
-            )
-        if near_disjoint:
-            self._rebuild_from_window(lo, hi, reason="regime")
-            return
-        xmin, xmax = self._span()
-        if self._strategy == "wholesale":
-            new_inner, spill_low, spill_high = wholesale_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
-            )
-        else:
-            new_inner, spill_low, spill_high = piecemeal_reallocate(
-                self._inner, lo, hi, self._inner_m, self._policy, sink=self._obs
-            )
-        self._left_tail += spill_low
-        self._right_tail += spill_high
-        if lo < old_lo:
-            span = old_lo - xmin
-            fraction = 1.0 if span <= 0.0 else min((old_lo - lo) / span, 1.0)
-            share = self._left_tail.scaled(fraction)
-            self._left_tail = Mass(
-                self._left_tail.count - share.count, self._left_tail.weight - share.weight
-            )
-            pour_uniform(new_inner, lo, old_lo, share)
-        if hi > old_hi:
-            span = xmax - old_hi
-            fraction = 1.0 if span <= 0.0 else min((hi - old_hi) / span, 1.0)
-            share = self._right_tail.scaled(fraction)
-            self._right_tail = Mass(
-                self._right_tail.count - share.count, self._right_tail.weight - share.weight
-            )
-            pour_uniform(new_inner, old_hi, hi, share)
-        self._inner = new_inner
 
     # --------------------------------------------------------------- steps
 
@@ -365,13 +266,21 @@ class TimeSlidingEstimator:
             cell[2] = self._route_add(record)
         return self.estimate()
 
-    def obs_state(self) -> dict[str, float]:
-        """Live state-size gauges for the instrumentation layer."""
-        return {
-            "buckets": float(self._inner.num_buckets) if self._inner is not None else 0.0,
-            "live": float(len(self._live)),
-            "tail_count": self._left_tail.count + self._right_tail.count,
-        }
+    def update_many_timed(self, timed: Iterable[tuple[float, Record]]) -> list[float]:
+        """Consume a chunk of ``(time, record)`` pairs; one estimate each.
+
+        The timestamped step is dominated by the variable-length expiry
+        drain, so there is no hoisted fast loop — this is the exact batch
+        transcription of :meth:`update` (``update_many`` on this class
+        raises, pointing here).
+        """
+        update = self.update
+        return [update(time, record) for time, record in timed]
+
+    def _extra_gauges(self) -> dict[str, float]:
+        gauges = super()._extra_gauges()
+        gauges["live"] = float(len(self._live))
+        return gauges
 
     # -------------------------------------------------------------- answer
 
@@ -379,22 +288,14 @@ class TimeSlidingEstimator:
         """Estimated dependent aggregate over the trailing duration."""
         if not self._live:
             return 0.0
-        independent = self._independent_value()
-        if self._inner is None:  # warm-up: answer from the live buffer, exact
-            qualifying = [
-                cell[1] for cell in self._live if self._query.qualifies(cell[1].x, independent)
-            ]
-            count = float(len(qualifying))
-            weight = sum(r.y for r in qualifying)
-            return self._query.value_from(count, weight)
+        return super().estimate()
 
-        if self._query.independent == "avg" and not self._query.two_sided:
-            _, xmax = self._span()
-            if xmax <= independent:
-                return 0.0
-        lo, hi = self._query.band(independent)
-        xmin, xmax = self._span()
-        mass = band_mass(
-            self._inner, self._left_tail, self._right_tail, xmin, xmax, lo, hi
-        ).clamped()
-        return self._query.value_from(mass.count, mass.weight)
+    def _estimate_warmup(self) -> float:
+        # Warm-up answers come from the live deque (exact), not a buffer.
+        independent = self._independent_value()
+        qualifying = [
+            cell[1] for cell in self._live if self._query.qualifies(cell[1].x, independent)
+        ]
+        count = float(len(qualifying))
+        weight = sum(r.y for r in qualifying)
+        return self._query.value_from(count, weight)

@@ -19,12 +19,16 @@ uniformity assumption.  This package provides:
   PiecemealReallocate (paper Figure 3) as pure functions on bucket arrays.
 * :mod:`~repro.histograms.maintenance` — merge/split "swap" maintenance for
   quantile partitionings, scored by frequency variance ``Var(H)``.
+* :mod:`~repro.histograms.mass` — band-mass queries over the shared
+  three-region summary (coarse tails + fine focus buckets): interpolated
+  point estimates, whole-bucket lower/upper bounds, and uniform re-pours.
 """
 
 from repro.histograms.bucket import BucketArray, Mass
 from repro.histograms.equidepth import EquidepthHistogram
 from repro.histograms.equiwidth import EquiwidthHistogram
 from repro.histograms.maintenance import merge_split_swap, variance_of_frequencies
+from repro.histograms.mass import band_bounds, band_mass, pour_uniform
 from repro.histograms.partition import (
     normal_quantile_boundaries,
     quantile_boundaries_from_histogram,
@@ -37,6 +41,9 @@ from repro.histograms.streaming_equidepth import StreamingEquidepthHistogram
 __all__ = [
     "BucketArray",
     "Mass",
+    "band_mass",
+    "band_bounds",
+    "pour_uniform",
     "EquidepthHistogram",
     "EquiwidthHistogram",
     "StreamingEquidepthHistogram",

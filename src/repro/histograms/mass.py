@@ -1,0 +1,131 @@
+"""Band-mass queries over a three-region summary (tails + fine buckets).
+
+The AVG-independent estimators (and the time-sliding estimator) keep
+their summary as three regions — a coarse left tail over
+``[xmin, inner.low]``, the fine focus buckets, and a coarse right tail
+over ``[inner.high, xmax]`` — the paper's bucket list
+``(min, lo, ..., hi, max)``.  These helpers answer threshold-band
+queries against that shape:
+
+* :func:`band_mass` — interpolated mass inside a band (point estimate);
+* :func:`band_bounds` — lower/upper bounds per the paper's Section 3.1
+  remark (discard or count partially-overlapped buckets whole);
+* :func:`pour_uniform` — spread tail mass back into fine buckets under
+  the same local-uniformity assumption, used when a reallocation grows
+  the focus region into a tail.
+
+They live in the histogram layer because they are pure functions of a
+:class:`~repro.histograms.bucket.BucketArray` plus two scalar
+:class:`~repro.histograms.bucket.Mass` tails — no estimator state —
+and every focus-region scope (landmark, count-sliding, time-sliding)
+shares them.
+"""
+
+from __future__ import annotations
+
+from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
+
+
+def band_mass(
+    inner: BucketArray,
+    left_tail: Mass,
+    right_tail: Mass,
+    xmin: float,
+    xmax: float,
+    lo: float,
+    hi: float,
+) -> Mass:
+    """Interpolated mass within the qualifying band ``(lo, hi)``.
+
+    The summary is three regions — left tail over ``[xmin, inner.low]``,
+    the fine buckets, right tail over ``[inner.high, xmax]`` — each
+    contributing its overlap with the band pro-rata (tails under the
+    uniformity assumption; ``hi`` may be ``math.inf`` for one-sided
+    queries).
+    """
+
+    def tail_share(tail: Mass, span_lo: float, span_hi: float) -> Mass:
+        span = span_hi - span_lo
+        if span <= 0.0:
+            inside = lo <= span_lo <= hi
+            return tail if inside else ZERO_MASS
+        overlap = min(hi, span_hi) - max(lo, span_lo)
+        if overlap <= 0.0:
+            return ZERO_MASS
+        return tail.scaled(min(overlap / span, 1.0))
+
+    total = tail_share(left_tail, xmin, inner.low)
+    total += tail_share(right_tail, inner.high, xmax)
+    clipped_lo = max(lo, inner.low)
+    clipped_hi = min(hi, inner.high)
+    if clipped_hi > clipped_lo:
+        total += inner.estimate_between(clipped_lo, clipped_hi)
+    return total
+
+
+def band_bounds(
+    inner: BucketArray,
+    left_tail: Mass,
+    right_tail: Mass,
+    xmin: float,
+    xmax: float,
+    lo: float,
+    hi: float,
+) -> tuple[Mass, Mass]:
+    """Lower/upper bounds on the mass within ``(lo, hi)``.
+
+    The paper (Section 3.1): "upper- or lower-bounds can be reported based
+    on counting or discarding the entire bucket" — instead of interpolating
+    a partially-overlapped bucket, the lower bound discards it entirely and
+    the upper bound includes it entirely.  Applied to every partially
+    overlapped region: the straddling fine buckets and the two coarse
+    tails.
+    """
+
+    def tail_bounds(tail: Mass, span_lo: float, span_hi: float) -> tuple[Mass, Mass]:
+        span = span_hi - span_lo
+        if span <= 0.0:
+            inside = lo <= span_lo <= hi
+            return (tail, tail) if inside else (ZERO_MASS, ZERO_MASS)
+        overlap = min(hi, span_hi) - max(lo, span_lo)
+        if overlap <= 0.0:
+            return (ZERO_MASS, ZERO_MASS)
+        if overlap >= span:
+            return (tail, tail)
+        return (ZERO_MASS, tail)
+
+    lower = ZERO_MASS
+    upper = ZERO_MASS
+    for tail, span in ((left_tail, (xmin, inner.low)), (right_tail, (inner.high, xmax))):
+        tail_lo, tail_hi = tail_bounds(tail, *span)
+        lower += tail_lo
+        upper += tail_hi
+
+    edges = inner.edges
+    for i, (left, right) in enumerate(zip(edges, edges[1:])):
+        overlap = min(hi, right) - max(lo, left)
+        if overlap <= 0.0:
+            continue
+        bucket = inner.bucket_mass(i)
+        upper += bucket
+        if overlap >= right - left:
+            lower += bucket
+    return (lower.clamped(), upper.clamped())
+
+
+def pour_uniform(histogram: BucketArray, lo: float, hi: float, mass: Mass) -> None:
+    """Spread ``mass`` uniformly over ``[lo, hi]`` across the buckets it overlaps."""
+    lo = max(lo, histogram.low)
+    hi = min(hi, histogram.high)
+    span = hi - lo
+    if span <= 0.0 or (mass.count == 0.0 and mass.weight == 0.0):
+        # Degenerate target: drop the mass into the nearest boundary bucket.
+        if mass.count != 0.0 or mass.weight != 0.0:
+            index = histogram.locate(min(max(lo, histogram.low), histogram.high))
+            histogram.add_mass(index, mass)
+        return
+    edges = histogram.edges
+    for i, (left, right) in enumerate(zip(edges, edges[1:])):
+        overlap = min(hi, right) - max(lo, left)
+        if overlap > 0.0:
+            histogram.add_mass(i, mass.scaled(overlap / span))

@@ -55,6 +55,31 @@ class StreamAlgorithm(Protocol):
         """Consume ``S_in[i]`` and return ``S_out[i]``."""
         ...
 
+    def update_many(self, records: Iterable[Record]) -> list[float]:
+        """Consume a chunk of records; return ``S_out`` for each.
+
+        Must be exactly equivalent to ``[self.update(r) for r in records]``
+        — batching is an ingestion fast path, never a semantic change.
+        """
+        ...
+
+
+class BatchedIngest:
+    """Default ``update_many`` for algorithms without a native batch path.
+
+    Mixing this in satisfies the :class:`StreamAlgorithm` batch contract
+    with a straight transcription of the scalar loop (plus the same tuple
+    coercion ``run_stream`` performs), so callers can batch uniformly
+    without caring which algorithms have a hand-tuned fast loop.
+    """
+
+    def update_many(self, records: Iterable[Record]) -> list[float]:
+        """Consume a chunk of records via the scalar ``update`` loop."""
+        update = self.update  # type: ignore[attr-defined]
+        return [
+            update(r if isinstance(r, Record) else Record(*r)) for r in records
+        ]
+
 
 @runtime_checkable
 class ObservableAlgorithm(StreamAlgorithm, Protocol):

@@ -8,7 +8,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.exact import exact_series
-from repro.core.landmark_avg import LandmarkAvgEstimator, band_bounds
+from repro.core.landmark_avg import LandmarkAvgEstimator
+from repro.histograms.mass import band_bounds
 from repro.core.query import CorrelatedQuery
 from repro.core.sliding_avg import SlidingAvgEstimator
 from repro.exceptions import ConfigurationError
@@ -49,7 +50,7 @@ class TestBandBounds:
         assert lower.count == 4.0 and upper.count == 4.0
 
     def test_bounds_bracket_interpolation(self):
-        from repro.core.landmark_avg import band_mass
+        from repro.histograms.mass import band_mass
 
         inner = BucketArray([0.0, 1.0, 2.0, 3.0], counts=[2.0, 4.0, 6.0], weights=[1.0] * 3)
         args = (inner, Mass(3, 3), Mass(5, 5), -2.0, 5.0, 0.7, 2.4)

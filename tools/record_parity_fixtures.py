@@ -1,0 +1,130 @@
+"""Record golden parity fixtures for the focused-estimator kernel.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/record_parity_fixtures.py
+
+The script replays a fixed-seed USAGE slice through every focused
+estimator configuration (all four method names on all four query shapes,
+plus the time-sliding estimator on both independents) with a recording
+sink attached, and writes per-step output series, final ``obs_state()``
+gauges, and lifecycle-event counters to
+``tests/core/fixtures/kernel_parity.json``.
+
+``tests/core/test_kernel_parity.py`` replays the same configurations and
+asserts byte-identical results, so any refactor of the estimator
+lifecycle (bucket arithmetic, reallocation scheduling, obs emission
+sites) that changes observable behaviour — even in the last float bit —
+fails loudly.  Regenerate the fixture only when a behaviour change is
+*intended*, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+FIXTURE_PATH = Path(__file__).resolve().parent.parent / (
+    "tests/core/fixtures/kernel_parity.json"
+)
+
+STREAM_NAME = "USAGE"
+STREAM_SIZE = 600
+WINDOW = 200
+DURATION = 250.0  # time-sliding: timestamps advance 0.5 per tuple
+
+FOCUSED_METHODS = (
+    "wholesale-uniform",
+    "wholesale-quantile",
+    "piecemeal-uniform",
+    "piecemeal-quantile",
+)
+
+#: Query shapes exercising all four count-window estimator classes.
+QUERY_SHAPES = {
+    "landmark-min": dict(dependent="count", independent="min", epsilon=99.0),
+    "landmark-avg": dict(dependent="sum", independent="avg"),
+    "sliding-min": dict(
+        dependent="count", independent="min", epsilon=99.0, window=WINDOW
+    ),
+    "sliding-avg": dict(dependent="count", independent="avg", window=WINDOW),
+}
+
+#: Time-sliding shapes (window=None; the duration replaces it).
+TIME_SHAPES = {
+    "time-min": dict(dependent="count", independent="min", epsilon=99.0),
+    "time-avg": dict(dependent="sum", independent="avg"),
+}
+
+
+def _event_counters(sink) -> dict[str, float]:
+    """The ``events.*`` counters — one per lifecycle event name."""
+    return {
+        name: value
+        for name, value in sink.registry.as_dict().items()
+        if name.startswith("events.")
+    }
+
+
+def record_fixture() -> dict:
+    from repro.core.engine import build_estimator
+    from repro.core.query import CorrelatedQuery
+    from repro.core.time_sliding import TimeSlidingEstimator
+    from repro.datasets.registry import load_dataset
+    from repro.obs.sink import RecordingSink
+
+    records = load_dataset(STREAM_NAME, size=STREAM_SIZE)
+    runs = {}
+
+    for method in FOCUSED_METHODS:
+        strategy, policy = method.split("-")
+        for shape_name, shape in QUERY_SHAPES.items():
+            query = CorrelatedQuery(**shape)
+            sink = RecordingSink()
+            estimator = build_estimator(query, method, num_buckets=10, sink=sink)
+            outputs = [estimator.update(r) for r in records]
+            runs[f"{method}/{shape_name}"] = {
+                "outputs": outputs,
+                "obs_state": estimator.obs_state(),
+                "events": _event_counters(sink),
+            }
+        for shape_name, shape in TIME_SHAPES.items():
+            query = CorrelatedQuery(**shape)
+            sink = RecordingSink()
+            estimator = TimeSlidingEstimator(
+                query,
+                duration=DURATION,
+                num_buckets=10,
+                strategy=strategy,
+                policy=policy,
+                sink=sink,
+            )
+            outputs = [
+                estimator.update(time=i * 0.5, record=r)
+                for i, r in enumerate(records)
+            ]
+            runs[f"{method}/{shape_name}"] = {
+                "outputs": outputs,
+                "obs_state": estimator.obs_state(),
+                "events": _event_counters(sink),
+            }
+
+    return {
+        "stream": {"dataset": STREAM_NAME, "size": STREAM_SIZE},
+        "window": WINDOW,
+        "duration": DURATION,
+        "num_buckets": 10,
+        "runs": runs,
+    }
+
+
+def main() -> None:
+    fixture = record_fixture()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(fixture, indent=1, sort_keys=True) + "\n")
+    n_runs = len(fixture["runs"])
+    print(f"wrote {FIXTURE_PATH} ({n_runs} runs x {STREAM_SIZE} steps)")
+
+
+if __name__ == "__main__":
+    main()
