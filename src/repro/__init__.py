@@ -20,6 +20,7 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the figure-by-
 figure reproduction of the paper's evaluation.
 """
 
+from repro.checkpoint import CheckpointManager
 from repro.core.engine import METHODS, build_estimator
 from repro.core.exact import ExactOracle, exact_series
 from repro.core.keyed import KeyedEstimatorBank
@@ -33,6 +34,7 @@ from repro.streams.model import Record, materialize, profile_stream, run_stream
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointManager",
     "CorrelatedQuery",
     "KeyedEstimatorBank",
     "QueryEngine",

@@ -1,0 +1,295 @@
+"""Crash-safe checkpoint/resume runtime for continual stream processors.
+
+The paper's setting is a *continual* query: the stream is unbounded, so a
+processor that crashes cannot re-read the past — whatever state the
+estimator carried must come back from durable storage.  A
+:class:`CheckpointManager` owns that lifecycle for any snapshottable
+target (a single estimator, a :class:`~repro.core.multiplex.QueryEngine`,
+a :class:`~repro.core.keyed.KeyedEstimatorBank`, or any picklable object):
+
+* **atomic writes** — every generation goes through
+  :func:`repro.persistence.atomic_write_bytes` (temp file + fsync +
+  ``os.replace``), so a crash mid-checkpoint leaves the previous
+  generation intact, never a torn file;
+* **scheduling** — :meth:`maybe_save` checkpoints every ``every`` tuples;
+  :meth:`save` checkpoints on demand;
+* **rotation** — the newest ``retain`` generations are kept on disk,
+  older ones are deleted after a successful write (never before);
+* **offset tracking** — each generation records the stream offset (tuples
+  consumed) and an optional ``source`` tag; :meth:`resume` verifies both
+  against the stream being resumed and hands back the restored target
+  plus the gap still to replay;
+* **corruption fallback** — :meth:`restore` walks generations newest to
+  oldest, skipping any blob :mod:`repro.persistence` rejects, so one
+  damaged file degrades recovery by one generation instead of killing it;
+* **observability** — ``checkpoint.write`` / ``checkpoint.restore`` /
+  ``checkpoint.corrupt`` / ``recovery.replayed`` events flow through the
+  standard :class:`~repro.obs.sink.ObsSink` layer.
+
+Typical use::
+
+    manager = CheckpointManager("ckpts/", every=1_000, source="USAGE:20000")
+    target, offset = manager.resume(records, fresh=lambda: build_estimator(q, m))
+    outputs = manager.run(target, records, start=offset)
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.obs.sink import NULL_SINK, ObsSink
+from repro.persistence import (
+    OS_FS,
+    Filesystem,
+    atomic_write_bytes,
+    dumps_estimator,
+    loads_estimator,
+)
+
+#: Generation filename shape: offset, zero-padded so names sort like numbers.
+_GENERATION_RE = re.compile(r"^ckpt-(\d{12})\.ckpt$")
+
+
+def generation_name(offset: int) -> str:
+    """Filename of the generation taken at stream ``offset``."""
+    return f"ckpt-{offset:012d}.ckpt"
+
+
+@dataclass(frozen=True)
+class CheckpointState:
+    """What one generation persists: the target plus its stream position."""
+
+    target: object
+    offset: int
+    source: str | None = None
+
+
+@dataclass(frozen=True)
+class RestoredCheckpoint:
+    """A successfully restored generation."""
+
+    target: object
+    offset: int
+    path: Path
+    #: Newer generations that were skipped as corrupt during fallback.
+    skipped: int = 0
+
+
+class CheckpointManager:
+    """Snapshot, rotate, and restore one stream processor's state.
+
+    Parameters
+    ----------
+    directory:
+        Where generations live.  Created on the first save.
+    every:
+        Checkpoint period in tuples for :meth:`maybe_save` (``None``
+        disables the schedule; :meth:`save` still works on demand).
+    retain:
+        Number of newest generations kept on disk (older ones are removed
+        after each successful write).
+    source:
+        Optional identity tag of the stream this state was computed over
+        (e.g. ``"USAGE:as-is:20000"``).  Stored in every generation and
+        verified on restore, so state from one stream cannot silently
+        resume over another.
+    sink:
+        Optional :class:`~repro.obs.sink.ObsSink` for lifecycle events.
+    fs:
+        Filesystem seam (fault injection); the real one by default.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        every: int | None = None,
+        retain: int = 3,
+        source: str | None = None,
+        sink: ObsSink | None = None,
+        fs: Filesystem | None = None,
+    ) -> None:
+        if every is not None and every <= 0:
+            raise ConfigurationError(f"every must be positive, got {every}")
+        if retain < 1:
+            raise ConfigurationError(f"retain must be >= 1, got {retain}")
+        self._directory = Path(directory)
+        self._every = every
+        self._retain = retain
+        self._source = source
+        self._obs = sink if sink is not None else NULL_SINK
+        self._fs = fs if fs is not None else OS_FS
+        self._last_saved: int | None = None
+
+    # ---------------------------------------------------------- inventory
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def every(self) -> int | None:
+        return self._every
+
+    @property
+    def source(self) -> str | None:
+        return self._source
+
+    @property
+    def last_saved(self) -> int | None:
+        """Offset of the last generation written by *this* manager."""
+        return self._last_saved
+
+    def generations(self) -> list[tuple[int, Path]]:
+        """On-disk generations as ``(offset, path)``, oldest first.
+
+        In-flight temporaries (``*.tmp.<pid>`` debris from a crash) and
+        foreign files are ignored — they are never candidates for restore.
+        """
+        try:
+            names = self._fs.listdir(self._directory)
+        except OSError:
+            return []
+        found = []
+        for name in names:
+            match = _GENERATION_RE.match(name)
+            if match is not None:  # anchored: "*.tmp.<pid>" debris never matches
+                found.append((int(match.group(1)), self._directory / name))
+        return sorted(found)
+
+    # -------------------------------------------------------------- writes
+
+    def save(self, target: object, offset: int) -> Path:
+        """Write one generation at stream ``offset`` and rotate old ones."""
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        self._fs.mkdir(self._directory)
+        path = self._directory / generation_name(offset)
+        blob = dumps_estimator(CheckpointState(target, offset, self._source))
+        atomic_write_bytes(path, blob, fs=self._fs)
+        self._last_saved = offset
+        self._rotate()
+        if self._obs.enabled:
+            self._obs.emit(
+                "checkpoint.write",
+                offset=float(offset),
+                bytes=float(len(blob)),
+                generations=float(len(self.generations())),
+            )
+        return path
+
+    def maybe_save(self, target: object, offset: int) -> Path | None:
+        """Apply the every-N schedule; returns the path when one was taken."""
+        if self._every is None or offset <= 0 or offset % self._every != 0:
+            return None
+        if self._last_saved == offset:  # already have this position
+            return None
+        return self.save(target, offset)
+
+    def _rotate(self) -> None:
+        """Drop generations beyond ``retain`` — only after a good write."""
+        generations = self.generations()
+        for _, path in generations[: -self._retain]:
+            self._fs.remove(path)
+
+    # ------------------------------------------------------------ restores
+
+    def restore(self) -> RestoredCheckpoint | None:
+        """Load the newest intact generation (``None`` when none exist).
+
+        Corrupt generations (truncated, bit-flipped, wrong format) are
+        skipped with a ``checkpoint.corrupt`` event; if every generation
+        is damaged a :class:`~repro.exceptions.StreamError` names them
+        all.  A ``source`` mismatch is configuration, not corruption, and
+        raises immediately.
+        """
+        generations = self.generations()
+        skipped = 0
+        for offset, path in reversed(generations):
+            try:
+                state = loads_estimator(self._fs.read_bytes(path))
+            except (StreamError, OSError):
+                skipped += 1
+                if self._obs.enabled:
+                    self._obs.emit("checkpoint.corrupt", offset=float(offset))
+                continue
+            if not isinstance(state, CheckpointState):
+                skipped += 1
+                if self._obs.enabled:
+                    self._obs.emit("checkpoint.corrupt", offset=float(offset))
+                continue
+            if (
+                self._source is not None
+                and state.source is not None
+                and state.source != self._source
+            ):
+                raise StreamError(
+                    f"checkpoint {path.name} was taken over source "
+                    f"{state.source!r}, but this manager resumes {self._source!r}"
+                )
+            if self._obs.enabled:
+                self._obs.emit(
+                    "checkpoint.restore", offset=float(state.offset), skipped=float(skipped)
+                )
+            self._last_saved = state.offset
+            return RestoredCheckpoint(state.target, state.offset, path, skipped)
+        if skipped:
+            raise StreamError(
+                f"all {skipped} checkpoint generations in {self._directory} are corrupt"
+            )
+        return None
+
+    def resume(
+        self, records: Sequence[object], fresh: Callable[[], object] | None = None
+    ) -> tuple[object, int]:
+        """Restore state and verify it against the stream being resumed.
+
+        Returns ``(target, offset)`` where ``records[offset:]`` is the gap
+        still to replay.  With no generation on disk, ``fresh()`` builds a
+        new target at offset 0 (without ``fresh`` that case raises).  A
+        checkpoint taken *beyond* the end of ``records`` means the caller
+        is resuming over the wrong (shorter) stream and raises.
+        """
+        restored = self.restore()
+        if restored is None:
+            if fresh is None:
+                raise StreamError(f"no checkpoint to resume from in {self._directory}")
+            return fresh(), 0
+        if restored.offset > len(records):
+            raise StreamError(
+                f"checkpoint offset {restored.offset} is beyond the resumed "
+                f"stream's length {len(records)}; wrong or truncated source?"
+            )
+        if self._obs.enabled:
+            self._obs.emit(
+                "recovery.replayed",
+                offset=float(restored.offset),
+                count=float(len(records) - restored.offset),
+            )
+        return restored.target, restored.offset
+
+    # --------------------------------------------------------------- drive
+
+    def run(self, target: object, records: Sequence[object], start: int = 0) -> list:
+        """Feed ``records[start:]`` through ``target.update``, checkpointing.
+
+        The schedule is applied after every tuple (offsets are absolute
+        stream positions, so a resumed run checkpoints at the same
+        positions an uninterrupted one would), and one final on-demand
+        generation is taken at end of stream when a schedule is set — so
+        a later ``resume`` replays an empty gap instead of the whole tail.
+        Returns one ``update`` result per consumed tuple.
+        """
+        update = target.update  # type: ignore[attr-defined]
+        outputs = []
+        offset = start
+        for record in records[start:]:
+            outputs.append(update(record))
+            offset += 1
+            self.maybe_save(target, offset)
+        if self._every is not None and offset > start and self._last_saved != offset:
+            self.save(target, offset)
+        return outputs

@@ -35,8 +35,9 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.core.engine import METHODS, methods_for_query
-from repro.core.exact import exact_series
+from repro.core.engine import METHODS, build_estimator, methods_for_query
+from repro.core.exact import exact_series, exact_time_series
+from repro.exceptions import ConfigurationError
 from repro.core.parser import parse_query
 from repro.core.query import CorrelatedQuery
 from repro.datasets.registry import dataset_names, load_dataset
@@ -127,13 +128,43 @@ def _render_panel_metrics(panel_result, fmt: str) -> str:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     methods = args.methods.split(",") if args.methods else None
+    checkpointing = args.checkpoint_every is not None or args.resume_from is not None
+    extra: dict[str, object] = {}
+    if checkpointing:
+        if args.metrics:
+            raise ConfigurationError(
+                "--metrics and checkpointing are mutually exclusive (a resumed "
+                "run cannot splice per-update latency across processes)"
+            )
+        if args.batch_size:
+            raise ConfigurationError(
+                "--batch-size and checkpointing are mutually exclusive (the "
+                "crash-safe path replays tuple by tuple)"
+            )
+        directory = args.resume_from or args.checkpoint_dir
+        if directory is None:
+            raise ConfigurationError("--checkpoint-every needs --checkpoint-dir")
+        if args.checkpoint_dir is not None and args.resume_from is not None and (
+            args.checkpoint_dir != args.resume_from
+        ):
+            raise ConfigurationError(
+                "--checkpoint-dir and --resume-from must name the same directory"
+            )
+        extra = {
+            "checkpoint_dir": directory,
+            "checkpoint_every": args.checkpoint_every,
+            "resume": args.resume_from is not None,
+        }
+    else:
+        # batch_size is a replay knob of the non-resumable path only.
+        extra = {"batch_size": args.batch_size}
     panels = run_experiment(
         args.experiment,
         size=args.size,
         methods=methods,
         num_buckets=args.buckets,
         obs=args.metrics,
-        batch_size=args.batch_size,
+        **extra,
     )
     spec = EXPERIMENTS[args.experiment]
     print(f"{spec.figure}: {spec.description}\n")
@@ -193,11 +224,24 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
     from repro.eval.tracker import MethodResult, run_method
 
-    outputs = run_method(
-        records, query, method, num_buckets=args.buckets, sink=sink,
-        batch_size=args.batch_size,
-    )
-    exact = exact_series(records, query)
+    if args.time_window is not None:
+        # Time-based scope: the built-in data sets carry no timestamps, so
+        # tuples arrive at unit spacing (tuple i at time i) — a duration
+        # of w then behaves like, and is checked against, the exact
+        # trailing-(t-w, t] window.
+        estimator = build_estimator(
+            query, method, num_buckets=args.buckets,
+            time_window=args.time_window, sink=sink,
+        )
+        timed = [(float(i), r) for i, r in enumerate(records, start=1)]
+        outputs = estimator.update_many_timed(timed)
+        exact = exact_time_series(timed, query, args.time_window)
+    else:
+        outputs = run_method(
+            records, query, method, num_buckets=args.buckets, sink=sink,
+            batch_size=args.batch_size,
+        )
+        exact = exact_series(records, query)
 
     import numpy as np
 
@@ -211,6 +255,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
     print(f"query  : {query.describe()}")
     print(f"stream : {args.dataset}, {len(records)} tuples")
+    if args.time_window is not None:
+        print(f"scope  : time window, trailing {args.time_window:g} (unit spacing)")
     print(f"method : {method} (m={args.buckets})\n")
     print(format_tracking_table({method: result}, checkpoints=args.checkpoints))
     print(f"\nfinal RMSE_n: {result.final_rmse:.3f}")
@@ -273,6 +319,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(METRICS_FORMATS),
         dest="metrics_format",
     )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        dest="checkpoint_every",
+        help="crash-safe mode: checkpoint each panel's state every N tuples "
+        "(atomic writes under --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        dest="checkpoint_dir",
+        help="directory for checkpoint generations (required with "
+        "--checkpoint-every)",
+    )
+    run.add_argument(
+        "--resume-from",
+        default=None,
+        dest="resume_from",
+        help="resume from the newest intact checkpoint generation in this "
+        "directory and replay only the gap",
+    )
     run.set_defaults(handler=_cmd_run)
 
     stats = sub.add_parser(
@@ -299,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--independent", default="min", choices=["min", "max", "avg"])
     est.add_argument("--epsilon", type=float, default=0.0)
     est.add_argument("--window", type=int, default=None)
+    est.add_argument(
+        "--time-window",
+        type=float,
+        default=None,
+        dest="time_window",
+        help="trailing time-window duration (tuples arrive at unit spacing; "
+        "focused methods only, mutually exclusive with --window)",
+    )
     est.add_argument("--two-sided", action="store_true", dest="two_sided")
     est.add_argument("--method", default=None, choices=list(METHODS))
     est.add_argument("--size", type=int, default=5000)

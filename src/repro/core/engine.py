@@ -41,6 +41,7 @@ from repro.core.landmark_extrema import LandmarkExtremaEstimator
 from repro.core.query import CorrelatedQuery
 from repro.core.sliding_avg import SlidingAvgEstimator
 from repro.core.sliding_extrema import SlidingExtremaEstimator
+from repro.core.time_sliding import TimeSlidingEstimator
 from repro.exceptions import ConfigurationError
 from repro.obs.sink import ObsSink
 from repro.streams.model import Record, StreamAlgorithm
@@ -72,6 +73,7 @@ _ESTIMATOR_CLASSES = (
     LandmarkAvgEstimator,
     SlidingExtremaEstimator,
     SlidingAvgEstimator,
+    TimeSlidingEstimator,
     EquiwidthEstimator,
     EquidepthEstimator,
     StreamingEquidepthEstimator,
@@ -82,7 +84,16 @@ _ESTIMATOR_CLASSES = (
 
 #: Parameters the factory itself routes (never forwarded as-is).
 _FACTORY_PARAMS = frozenset(
-    {"num_buckets", "stream", "domain", "universe", "strategy", "policy", "variant"}
+    {
+        "num_buckets",
+        "stream",
+        "domain",
+        "universe",
+        "strategy",
+        "policy",
+        "variant",
+        "time_window",
+    }
 )
 
 
@@ -194,9 +205,14 @@ def build_estimator(
     kwargs:
         Extra configuration forwarded to the estimator (``k_std``,
         ``num_intervals``, ``drift_tolerance``, ``swap_period``, ...).
-        Unknown keys raise :class:`~repro.exceptions.ConfigurationError`;
-        keys another method's estimator accepts are ignored here, so one
-        kwargs dict can drive a whole method sweep.
+        ``time_window=<duration>`` selects the *time-based* sliding scope
+        (a :class:`~repro.core.time_sliding.TimeSlidingEstimator`, driven
+        via ``update(time, record)``); it requires a focused method and a
+        landmark query — it is mutually exclusive with the query's tuple
+        ``window``.  Unknown keys raise
+        :class:`~repro.exceptions.ConfigurationError`; keys another
+        method's estimator accepts are ignored here, so one kwargs dict
+        can drive a whole method sweep.
     """
     if method not in METHODS:
         raise ConfigurationError(f"unknown method {method!r}; choose from {METHODS}")
@@ -204,6 +220,33 @@ def build_estimator(
     _validate_options(kwargs)
     if sink is not None:
         kwargs["sink"] = sink
+
+    time_window = kwargs.pop("time_window", None)
+    if time_window is not None:
+        if query.is_sliding:
+            raise ConfigurationError(
+                "time_window= and the query's tuple window= are mutually "
+                "exclusive; a query is scoped by exactly one of them"
+            )
+        if method not in FOCUSED_METHODS:
+            raise ConfigurationError(
+                f"time_window= runs the focused machinery and is only "
+                f"supported by {FOCUSED_METHODS}, not {method!r}"
+            )
+        strategy, policy = method.split("-")
+        options = _options_for(
+            TimeSlidingEstimator,
+            kwargs,
+            exclude=("duration", "num_buckets", "strategy", "policy"),
+        )
+        return TimeSlidingEstimator(
+            query,
+            duration=float(time_window),  # type: ignore[arg-type]
+            num_buckets=num_buckets,
+            strategy=strategy,
+            policy=policy,
+            **options,  # type: ignore[arg-type]
+        )
 
     if method in FOCUSED_METHODS:
         strategy, policy = method.split("-")

@@ -141,3 +141,43 @@ def exact_series(records: Sequence[Record], query: CorrelatedQuery) -> list[floa
         raise ConfigurationError("exact_series needs a non-empty stream")
     oracle = ExactOracle(query, (r.x for r in records))
     return [oracle.update(r) for r in records]
+
+
+def exact_time_series(
+    timed: Sequence[tuple[float, Record]], query: CorrelatedQuery, duration: float
+) -> list[float]:
+    """Exact per-step answers over a trailing *time* window.
+
+    The scope at step ``i`` is every tuple with timestamp in
+    ``(t_i - duration, t_i]`` — the same live set a
+    :class:`~repro.core.time_sliding.TimeSlidingEstimator` keeps (its
+    expiry drops tuples with ``time <= now - duration``).  This is the
+    reference the tests and the CLI compare time-window runs against; it
+    re-evaluates the predicate over the live window per step, which is
+    fine for recorded evaluation streams and deliberately not a stream
+    algorithm.
+    """
+    if not timed:
+        raise ConfigurationError("exact_time_series needs a non-empty stream")
+    if query.is_sliding:
+        raise ConfigurationError("time-window evaluation needs a landmark query")
+    if duration <= 0.0:
+        raise ConfigurationError(f"duration must be positive, got {duration}")
+    out: list[float] = []
+    live: list[tuple[float, Record]] = []
+    for time, record in timed:
+        live.append((time, record if isinstance(record, Record) else Record(*record)))
+        cutoff = time - duration
+        live = [(t, r) for t, r in live if t > cutoff]
+        xs = [r.x for _, r in live]
+        if query.independent == "min":
+            independent = min(xs)
+        elif query.independent == "max":
+            independent = max(xs)
+        else:
+            independent = math.fsum(xs) / len(xs)
+        qualifying = [r for _, r in live if query.qualifies(r.x, independent)]
+        count = float(len(qualifying))
+        weight = math.fsum(r.y for r in qualifying)
+        out.append(query.value_from(count, weight))
+    return out

@@ -135,3 +135,17 @@ class KeyedEstimatorBank:
     def evict(self, key: Hashable) -> bool:
         """Drop ``key``'s estimator; returns False if the key was unknown."""
         return self._estimators.pop(key, None) is not None
+
+    def obs_state(self) -> dict[str, float]:
+        """Bank-level gauges plus every key's estimator gauges, prefixed.
+
+        Child keys appear as ``key.<key>.<gauge>`` (keys rendered through
+        ``str``), keeping a whole bank's snapshot one flat mapping.
+        """
+        gauges: dict[str, float] = {"keys": float(len(self._estimators))}
+        for key, estimator in self._estimators.items():
+            state_fn = getattr(estimator, "obs_state", None)
+            if state_fn is not None:
+                for name, value in state_fn().items():
+                    gauges[f"key.{key}.{name}"] = value
+        return gauges

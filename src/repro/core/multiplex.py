@@ -126,3 +126,38 @@ class QueryEngine:
             name: estimator.estimate()  # type: ignore[attr-defined]
             for name, estimator in self._estimators.items()
         }
+
+    # -------------------------------------------------------- persistence
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle everything except the subscribers.
+
+        Subscriber callbacks are arbitrary callables (closures, bound
+        methods) with no reliable serialisation; a restored engine starts
+        with none, and callers re-``subscribe`` after resuming — exactly
+        as they re-attach any other process-local resource.
+        """
+        state = dict(self.__dict__)
+        state["_subscribers"] = []
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+
+    def obs_state(self) -> dict[str, float]:
+        """Engine-level gauges plus every child estimator's, prefixed.
+
+        Child keys appear as ``<query name>.<gauge>``, so a snapshot of a
+        whole engine stays one flat name → value mapping like any single
+        estimator's.
+        """
+        gauges = {
+            "queries": float(len(self._estimators)),
+            "position": float(self._position),
+        }
+        for name, estimator in self._estimators.items():
+            state_fn = getattr(estimator, "obs_state", None)
+            if state_fn is not None:
+                for key, value in state_fn().items():
+                    gauges[f"{name}.{key}"] = value
+        return gauges

@@ -26,11 +26,13 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.checkpoint import CheckpointManager
 from repro.core.engine import methods_for_query
 from repro.core.query import CorrelatedQuery
 from repro.datasets.registry import load_dataset
-from repro.eval.tracker import MethodResult, evaluate_methods
+from repro.eval.tracker import MethodResult, evaluate_methods, evaluate_methods_resumable
 from repro.exceptions import ConfigurationError
 from repro.streams.model import Record
 from repro.streams.ordering import as_is, partially_sorted_reverse, random_permutation
@@ -178,6 +180,9 @@ def run_experiment(
     methods: Sequence[str] | None = None,
     num_buckets: int | None = None,
     obs: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int | None = None,
+    resume: bool = False,
     **kwargs: object,
 ) -> list[PanelResult]:
     """Execute one experiment; returns one :class:`PanelResult` per panel.
@@ -195,6 +200,16 @@ def run_experiment(
     obs:
         Attach a recording sink per method (lifecycle events, per-update
         latency); each result carries it in ``.obs``.
+    checkpoint_dir:
+        Enable the crash-safe path: each panel's evaluation runs through
+        a :class:`~repro.checkpoint.CheckpointManager` rooted at
+        ``<checkpoint_dir>/panel<i>``.  Mutually exclusive with ``obs``
+        (resumed latency profiles would splice two processes' clocks).
+    checkpoint_every:
+        Checkpoint period in tuples (requires ``checkpoint_dir``).
+    resume:
+        Restore each panel from its newest intact generation and replay
+        only the gap (requires ``checkpoint_dir``).
     kwargs:
         Extra configuration for focused estimators.
     """
@@ -204,13 +219,40 @@ def run_experiment(
                 f"unknown experiment {spec!r}; choose from {sorted(EXPERIMENTS)}"
             )
         spec = EXPERIMENTS[spec]
+    if (checkpoint_every is not None or resume) and checkpoint_dir is None:
+        raise ConfigurationError("checkpoint_every/resume need a checkpoint_dir")
+    if checkpoint_dir is not None and obs:
+        raise ConfigurationError(
+            "obs instrumentation and checkpointing are mutually exclusive "
+            "(a resumed run cannot splice per-update latency across processes)"
+        )
     buckets = spec.num_buckets if num_buckets is None else num_buckets
     panel_results = []
-    for panel in spec.panels:
+    for index, panel in enumerate(spec.panels):
         records = panel.load(size=size)
         wanted = list(methods) if methods is not None else methods_for_query(panel.query)
-        results = evaluate_methods(
-            records, panel.query, methods=wanted, num_buckets=buckets, obs=obs, **kwargs
-        )
+        if checkpoint_dir is not None:
+            manager = CheckpointManager(
+                Path(checkpoint_dir) / f"panel{index}",
+                every=checkpoint_every,
+                source=(
+                    f"{spec.experiment_id}:{panel.dataset}:{panel.ordering}"
+                    f":{len(records)}"
+                ),
+            )
+            results = evaluate_methods_resumable(
+                records,
+                panel.query,
+                manager,
+                methods=wanted,
+                num_buckets=buckets,
+                resume=resume,
+                **kwargs,
+            )
+        else:
+            results = evaluate_methods(
+                records, panel.query, methods=wanted, num_buckets=buckets, obs=obs,
+                **kwargs,
+            )
         panel_results.append(PanelResult(panel=panel, results=results))
     return panel_results

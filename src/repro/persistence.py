@@ -8,6 +8,14 @@ serialisation; these helpers add a format header and a version check so a
 checkpoint from an incompatible library version fails loudly instead of
 resuming with silently different semantics.
 
+Writes are *atomic*: the blob lands in a temporary file in the target's
+directory, is flushed and fsynced, and only then renamed over the final
+path with :func:`os.replace`.  A crash at any point leaves either the
+previous complete checkpoint or no checkpoint — never a truncated file
+that poisons the next restart.  All filesystem calls go through a
+:class:`Filesystem` object so the fault-injection harness
+(:mod:`repro.testing.faults`) can crash a write at an exact point.
+
 Security note: like all pickle-based formats, checkpoints must only be
 loaded from trusted sources — loading executes arbitrary code by design.
 
@@ -22,6 +30,8 @@ True
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pickle
 from pathlib import Path
 
@@ -33,6 +43,84 @@ from repro.streams.model import StreamAlgorithm
 FORMAT_VERSION = 1
 
 _MAGIC = b"repro-checkpoint"
+
+#: Suffix of in-flight temporary files; readers must ignore these.
+TMP_SUFFIX = ".tmp"
+
+
+class Filesystem:
+    """The os calls the checkpoint path makes, behind one seam.
+
+    The durability argument for atomic checkpoints only holds if every
+    write really reaches the disk in the claimed order, and the only way
+    to *test* the crash windows between those calls is to be able to fail
+    each one individually.  Production code uses the shared :data:`OS_FS`
+    instance; tests inject a :class:`repro.testing.faults.FailingFilesystem`.
+    """
+
+    def write_bytes(self, path: Path, data: bytes) -> None:
+        """Write ``data`` to ``path`` and fsync the file before closing."""
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_bytes(self, path: Path) -> bytes:
+        """Read ``path`` whole."""
+        return Path(path).read_bytes()
+
+    def replace(self, src: Path, dst: Path) -> None:
+        """Atomically rename ``src`` over ``dst`` (POSIX rename semantics)."""
+        os.replace(src, dst)
+
+    def fsync_dir(self, directory: Path) -> None:
+        """Persist a rename by fsyncing its directory (best effort)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # platform without directory fds (e.g. Windows)
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def remove(self, path: Path) -> None:
+        """Delete ``path`` (used by generation rotation and tmp cleanup)."""
+        os.remove(path)
+
+    def mkdir(self, directory: Path) -> None:
+        """Create ``directory`` (and parents) if it does not exist yet."""
+        Path(directory).mkdir(parents=True, exist_ok=True)
+
+    def listdir(self, directory: Path) -> list[str]:
+        """Name every entry of ``directory``."""
+        return os.listdir(directory)
+
+
+#: Shared default instance — the real filesystem.
+OS_FS = Filesystem()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, fs: Filesystem | None = None) -> None:
+    """Write ``data`` to ``path`` so a crash never leaves a partial file.
+
+    The data goes to ``<path>.tmp.<pid>`` in the same directory (same
+    filesystem, so the rename is atomic), is fsynced, and is then renamed
+    over ``path``; finally the directory entry itself is fsynced.  On any
+    failure the temporary file is removed best-effort and the previous
+    content of ``path`` is untouched.
+    """
+    fs = fs if fs is not None else OS_FS
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}{TMP_SUFFIX}.{os.getpid()}")
+    try:
+        fs.write_bytes(tmp, data)
+        fs.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(Exception):
+            fs.remove(tmp)
+        raise
+    fs.fsync_dir(path.parent)
 
 
 def dumps_estimator(estimator: StreamAlgorithm) -> bytes:
@@ -59,14 +147,25 @@ def loads_estimator(blob: bytes) -> StreamAlgorithm:
             f"checkpoint format {payload.get('format')} is not supported "
             f"(this library reads format {FORMAT_VERSION})"
         )
+    if "estimator" not in payload:
+        raise StreamError(
+            "malformed repro checkpoint: valid header but no 'estimator' payload"
+        )
     return payload["estimator"]
 
 
-def save_estimator(estimator: StreamAlgorithm, path: str | Path) -> None:
-    """Write an estimator checkpoint to ``path``."""
-    Path(path).write_bytes(dumps_estimator(estimator))
+def save_estimator(
+    estimator: StreamAlgorithm, path: str | Path, fs: Filesystem | None = None
+) -> None:
+    """Atomically write an estimator checkpoint to ``path``."""
+    atomic_write_bytes(path, dumps_estimator(estimator), fs=fs)
 
 
-def load_estimator(path: str | Path) -> StreamAlgorithm:
+def load_estimator(path: str | Path, fs: Filesystem | None = None) -> StreamAlgorithm:
     """Read an estimator checkpoint from ``path``."""
-    return loads_estimator(Path(path).read_bytes())
+    fs = fs if fs is not None else OS_FS
+    try:
+        blob = fs.read_bytes(Path(path))
+    except OSError as exc:
+        raise StreamError(f"cannot read checkpoint {path}: {exc}") from exc
+    return loads_estimator(blob)

@@ -1,0 +1,24 @@
+"""Test harnesses shipped with the library.
+
+:mod:`repro.testing.faults` is a fault-injection toolkit for the
+checkpoint/recovery path: deterministic crash points inside the atomic
+write sequence, and corruption helpers for at-rest checkpoint blobs.  It
+ships in the package (not under ``tests/``) so downstream deployments can
+drive the same recovery drills against their own storage.
+"""
+
+from repro.testing.faults import (
+    CRASH_POINTS,
+    FailingFilesystem,
+    InjectedFault,
+    flip_bit,
+    truncate_file,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "FailingFilesystem",
+    "InjectedFault",
+    "flip_bit",
+    "truncate_file",
+]

@@ -1,0 +1,146 @@
+"""Fault injection for the checkpoint/recovery path.
+
+Recovery code is only trustworthy if every crash window is exercised: the
+atomic-write sequence (``write tmp → fsync → rename → fsync dir``) has a
+distinct failure mode between every pair of steps, and a checkpoint that
+survived the write can still rot at rest (torn sectors, bit flips).  This
+module makes both failure families reproducible:
+
+* :class:`FailingFilesystem` wraps :class:`repro.persistence.Filesystem`
+  and raises :class:`InjectedFault` at one exact operation — optionally
+  after writing a *prefix* of the data, simulating a torn mid-write crash.
+  Once the fault fires, every later operation fails too: a crashed process
+  does not get to clean up its temporary files, which is exactly the
+  debris recovery must tolerate.
+* :func:`truncate_file` and :func:`flip_bit` damage a checkpoint that was
+  written successfully, for testing corrupt-blob rejection and
+  generation fallback.
+
+:class:`InjectedFault` deliberately does **not** derive from
+:class:`~repro.exceptions.ReproError`: recovery code must never swallow a
+crash as if it were a recoverable stream condition.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.persistence import OS_FS, Filesystem
+
+#: Operations a :class:`FailingFilesystem` can crash on — each one is a
+#: distinct window of the atomic-write (and rotation) sequence.
+CRASH_POINTS = ("write", "fsync_dir", "replace", "remove")
+
+
+class InjectedFault(Exception):
+    """A deliberately injected crash (not a library error)."""
+
+
+class FailingFilesystem(Filesystem):
+    """A filesystem that dies at one chosen operation.
+
+    Parameters
+    ----------
+    crash_at:
+        One of :data:`CRASH_POINTS` — the operation that raises.
+    after:
+        Let this many calls of the chosen operation succeed first
+        (``0`` = the first call fails).
+    partial:
+        For ``crash_at='write'``: write this many bytes of the payload
+        for real before dying, leaving a torn file on "disk".
+    inner:
+        The real filesystem to delegate successful calls to.
+    """
+
+    def __init__(
+        self,
+        crash_at: str,
+        after: int = 0,
+        partial: int | None = None,
+        inner: Filesystem | None = None,
+    ) -> None:
+        if crash_at not in CRASH_POINTS:
+            raise ValueError(f"crash_at must be one of {CRASH_POINTS}, got {crash_at!r}")
+        self._crash_at = crash_at
+        self._remaining = after
+        self._partial = partial
+        self._inner = inner if inner is not None else OS_FS
+        #: True once the fault has fired; every operation fails from then on.
+        self.crashed = False
+        #: Operations that completed successfully, for assertions.
+        self.ops: list[str] = []
+
+    def _step(self, op: str) -> None:
+        if self.crashed:
+            raise InjectedFault(f"filesystem gone after crash ({op})")
+        if op == self._crash_at:
+            if self._remaining == 0:
+                self.crashed = True
+                raise InjectedFault(f"injected crash at {op}")
+            self._remaining -= 1
+
+    def write_bytes(self, path: Path, data: bytes) -> None:
+        """Write ``data``, possibly torn or refused at the injected point."""
+        if (
+            not self.crashed
+            and self._crash_at == "write"
+            and self._remaining == 0
+            and self._partial is not None
+        ):
+            # Torn write: a prefix reaches the disk, then the process dies.
+            self._inner.write_bytes(path, data[: self._partial])
+            self.crashed = True
+            raise InjectedFault(f"injected crash mid-write ({self._partial} bytes kept)")
+        self._step("write")
+        self._inner.write_bytes(path, data)
+        self.ops.append("write")
+
+    def read_bytes(self, path: Path) -> bytes:
+        """Read ``path`` (fails once the injected crash has fired)."""
+        if self.crashed:
+            raise InjectedFault("filesystem gone after crash (read)")
+        return self._inner.read_bytes(path)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        """Rename ``src`` over ``dst``, or die at the injected point."""
+        self._step("replace")
+        self._inner.replace(src, dst)
+        self.ops.append("replace")
+
+    def fsync_dir(self, directory: Path) -> None:
+        """Fsync ``directory``, or die at the injected point."""
+        self._step("fsync_dir")
+        self._inner.fsync_dir(directory)
+        self.ops.append("fsync_dir")
+
+    def remove(self, path: Path) -> None:
+        """Delete ``path``, or die at the injected point."""
+        self._step("remove")
+        self._inner.remove(path)
+        self.ops.append("remove")
+
+    def mkdir(self, directory: Path) -> None:
+        """Create ``directory`` (fails once the injected crash has fired)."""
+        if self.crashed:
+            raise InjectedFault("filesystem gone after crash (mkdir)")
+        self._inner.mkdir(directory)
+
+    def listdir(self, directory: Path) -> list[str]:
+        """List ``directory`` (fails once the injected crash has fired)."""
+        if self.crashed:
+            raise InjectedFault("filesystem gone after crash (listdir)")
+        return self._inner.listdir(directory)
+
+
+def truncate_file(path: str | Path, keep_bytes: int) -> None:
+    """Chop ``path`` down to its first ``keep_bytes`` bytes."""
+    data = Path(path).read_bytes()
+    Path(path).write_bytes(data[:keep_bytes])
+
+
+def flip_bit(path: str | Path, byte_index: int = 0, bit: int = 0) -> None:
+    """Flip one bit of ``path`` in place (default: the very first bit)."""
+    data = bytearray(Path(path).read_bytes())
+    data[byte_index] ^= 1 << bit
+    Path(path).write_bytes(bytes(data))

@@ -153,3 +153,45 @@ class TestBaselineEstimators:
         est = build_estimator(SW_AVG, "exact", stream=records)
         outputs = [est.update(r) for r in records]
         assert outputs == exact_series(records, SW_AVG)
+
+
+class TestTimeWindowFactory:
+    def test_dispatch(self):
+        from repro.core.time_sliding import TimeSlidingEstimator
+
+        est = build_estimator(LM_MIN, "piecemeal-uniform", time_window=25.0)
+        assert isinstance(est, TimeSlidingEstimator)
+
+    def test_mutually_exclusive_with_tuple_window(self):
+        with pytest.raises(ConfigurationError, match="mutually"):
+            build_estimator(SW_MIN, "piecemeal-uniform", time_window=25.0)
+
+    def test_non_focused_method_rejected(self):
+        with pytest.raises(ConfigurationError, match="focused"):
+            build_estimator(LM_MIN, "equidepth", time_window=25.0)
+
+    def test_typo_still_gets_did_you_mean(self):
+        # Regression: before time_window was a factory parameter, the
+        # option (and its near-misses) died as an unknown-kwarg error with
+        # no suggestion.
+        with pytest.raises(ConfigurationError, match="time_window"):
+            build_estimator(LM_MIN, "piecemeal-uniform", time_windoww=25.0)
+
+    def test_unit_spacing_reference_matches_tuple_window(self, rng):
+        # With tuples at times 1, 2, 3, ... a duration-W time window holds
+        # exactly the last W tuples — so the exact time-window series must
+        # agree with the exact tuple-window series over the same stream.
+        from repro.core.exact import exact_time_series
+
+        records = make_records(rng.uniform(1.0, 100.0, size=150))
+        timed = [(float(i), r) for i, r in enumerate(records, start=1)]
+        assert exact_time_series(timed, LM_MIN, 50.0) == exact_series(records, SW_MIN)
+
+    def test_estimator_tracks_window_occupancy(self, rng):
+        records = make_records(rng.uniform(1.0, 100.0, size=150))
+        est = build_estimator(LM_MIN, "piecemeal-uniform", time_window=50.0)
+        outputs = est.update_many_timed(
+            [(float(i), r) for i, r in enumerate(records, start=1)]
+        )
+        assert len(outputs) == len(records)
+        assert all(np.isfinite(v) for v in outputs)

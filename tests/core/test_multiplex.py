@@ -113,3 +113,32 @@ class TestSubscriptions:
     def test_invalid_period(self):
         with pytest.raises(ConfigurationError):
             QueryEngine().subscribe(0, lambda *_: None)
+
+
+class TestSerialisation:
+    def test_engine_with_lambda_subscriber_pickles(self, rng):
+        # Regression: pickling an engine used to fail with PicklingError the
+        # moment any subscriber was a lambda or closure; checkpointing must
+        # drop the process-local callbacks instead.
+        import pickle
+
+        engine = QueryEngine()
+        engine.register("a", MIN_Q)
+        engine.subscribe(5, lambda *_: None)
+        records = make_records(rng.uniform(1.0, 100.0, size=30))
+        for r in records:
+            engine.update(r)
+        restored = pickle.loads(pickle.dumps(engine))
+        assert restored.report() == engine.report()
+        assert restored.position == engine.position
+
+    def test_obs_state_exposes_children(self, rng):
+        engine = QueryEngine()
+        engine.register("a", MIN_Q)
+        engine.register("b", AVG_Q)
+        for r in make_records(rng.uniform(1.0, 100.0, size=10)):
+            engine.update(r)
+        gauges = engine.obs_state()
+        assert gauges["queries"] == 2.0
+        assert gauges["position"] == 10.0
+        assert any(key.startswith("a.") for key in gauges)

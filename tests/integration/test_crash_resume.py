@@ -1,0 +1,83 @@
+"""End-to-end crash/resume: a real process, a real SIGKILL.
+
+The in-process fault suite (tests/test_faults.py) exercises every crash
+window deterministically; this test closes the loop at the OS level — the
+CLI process is killed with an unblockable signal mid-stream and a second
+invocation with ``--resume-from`` must print results identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+RUN = [
+    sys.executable,
+    "-m",
+    "repro",
+    "run",
+    "F7",
+    "--size",
+    "4000",
+    "--methods",
+    "piecemeal-uniform",
+    "--checkpoint-every",
+    "250",
+]
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run_cli(argv: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(argv, capture_output=True, text=True, env=_env(), timeout=120)
+
+
+@pytest.mark.slow
+def test_sigkill_mid_stream_then_resume_matches_uninterrupted(tmp_path):
+    baseline_dir = tmp_path / "baseline"
+    crash_dir = tmp_path / "crash"
+
+    baseline = _run_cli([*RUN, "--checkpoint-dir", str(baseline_dir)])
+    assert baseline.returncode == 0, baseline.stderr
+
+    # Start the same run, wait for the first checkpoint generation to land,
+    # then kill -9: no atexit handlers, no cleanup, exactly a crash.
+    victim = subprocess.Popen(
+        [*RUN, "--checkpoint-dir", str(crash_dir)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=_env(),
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if list(crash_dir.glob("panel0/ckpt-*.ckpt")) or victim.poll() is not None:
+                break
+            time.sleep(0.01)
+        if victim.poll() is None:
+            victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+
+    assert list(crash_dir.glob("panel0/ckpt-*.ckpt")), (
+        "no checkpoint was written before the process exited"
+    )
+
+    resumed = _run_cli([*RUN, "--resume-from", str(crash_dir)])
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == baseline.stdout

@@ -183,3 +183,111 @@ class TestEstimate:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_time_window_scope(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "USAGE",
+                "--independent",
+                "min",
+                "--epsilon",
+                "1000",
+                "--size",
+                "400",
+                "--time-window",
+                "80",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time window, trailing 80" in out
+        assert "final RMSE_n" in out
+
+    def test_time_window_rejects_tuple_window(self, capsys):
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "USAGE",
+                "--independent",
+                "avg",
+                "--window",
+                "50",
+                "--time-window",
+                "80",
+                "--size",
+                "200",
+            ]
+        )
+        assert code == 2
+        assert "mutually" in capsys.readouterr().err
+
+
+class TestCheckpointFlags:
+    RUN = ["run", "F7", "--size", "400", "--methods", "piecemeal-uniform"]
+
+    def test_checkpoint_every_needs_dir(self, capsys):
+        code = main([*self.RUN, "--checkpoint-every", "100"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_metrics_and_checkpointing_are_exclusive(self, tmp_path, capsys):
+        code = main(
+            [
+                *self.RUN,
+                "--checkpoint-every",
+                "100",
+                "--checkpoint-dir",
+                str(tmp_path),
+                "--metrics",
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_resume_dir_mismatch_rejected(self, tmp_path, capsys):
+        code = main(
+            [
+                *self.RUN,
+                "--checkpoint-dir",
+                str(tmp_path / "a"),
+                "--resume-from",
+                str(tmp_path / "b"),
+            ]
+        )
+        assert code == 2
+        assert "same directory" in capsys.readouterr().err
+
+    def test_checkpointed_run_matches_plain_run(self, tmp_path, capsys):
+        assert main(self.RUN) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    *self.RUN,
+                    "--checkpoint-every",
+                    "100",
+                    "--checkpoint-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        checkpointed = capsys.readouterr().out
+        assert checkpointed == plain
+        assert list((tmp_path / "panel0").glob("ckpt-*.ckpt"))
+
+    def test_resume_after_complete_run_reprints_results(self, tmp_path, capsys):
+        args = [*self.RUN, "--checkpoint-every", "100", "--checkpoint-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main([*self.RUN, "--resume-from", str(tmp_path)]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == first
+
+    def test_resume_from_empty_directory_rejected(self, tmp_path, capsys):
+        code = main([*self.RUN, "--resume-from", str(tmp_path)])
+        assert code == 2
+        assert "no checkpoint" in capsys.readouterr().err

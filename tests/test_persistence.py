@@ -100,3 +100,38 @@ class TestHeaderValidation:
         payload["format"] = FORMAT_VERSION + 1
         with pytest.raises(StreamError):
             loads_estimator(pickle.dumps(payload))
+
+    def test_missing_estimator_payload_rejected(self):
+        # Regression: a blob with a valid header but no 'estimator' key used
+        # to escape as a raw KeyError instead of a StreamError.
+        blob = dumps_estimator(object())
+        payload = pickle.loads(blob)
+        del payload["estimator"]
+        with pytest.raises(StreamError, match="estimator"):
+            loads_estimator(pickle.dumps(payload))
+
+
+class TestAtomicSave:
+    def test_mid_write_crash_preserves_previous_checkpoint(self, tmp_path, rng):
+        # Regression: save_estimator used to write the final path in place,
+        # so a crash mid-write destroyed the previous good checkpoint.
+        from repro.testing.faults import FailingFilesystem, InjectedFault
+
+        est = build_estimator(QUERIES["lm-min"], "piecemeal-uniform")
+        for r in make_records(rng.uniform(1.0, 100.0, size=50)):
+            est.update(r)
+        path = tmp_path / "checkpoint.bin"
+        save_estimator(est, path)
+        good = path.read_bytes()
+
+        for r in make_records(rng.uniform(1.0, 100.0, size=50)):
+            est.update(r)
+        with pytest.raises(InjectedFault):
+            save_estimator(est, path, fs=FailingFilesystem("write", partial=64))
+        assert path.read_bytes() == good
+        assert load_estimator(path).estimate() is not None
+
+    def test_successful_save_leaves_no_tmp_debris(self, tmp_path, rng):
+        est = build_estimator(QUERIES["lm-min"], "piecemeal-uniform")
+        save_estimator(est, tmp_path / "checkpoint.bin")
+        assert [p.name for p in tmp_path.iterdir()] == ["checkpoint.bin"]
