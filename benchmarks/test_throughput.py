@@ -97,6 +97,40 @@ def test_batched_vs_single_ingestion(benchmark, usage_slice, ingestion):
     benchmark.extra_info["ingestion"] = ingestion
 
 
+@pytest.mark.parametrize("tracing", ("off", "on"))
+def test_tracing_overhead(benchmark, usage_slice, tracing):
+    """Streaming cost with the flight recorder off vs. fully on.
+
+    ``off`` is the shipped default (``NULL_TRACER`` guard only); ``on``
+    attaches a ``RecordingSink`` + ``Tracer`` so every tuple opens a
+    ``kernel.answer`` span and every lifecycle edge exports.  The tighter
+    floor-vs-disabled comparison lives in ``tools/bench_obs_overhead.py``;
+    this pair tracks the enabled cost release over release.
+    """
+    from repro.obs.sink import RecordingSink
+    from repro.obs.trace import Tracer
+
+    query = QUERIES["landmark-min"]
+
+    def run() -> float:
+        kwargs = {}
+        if tracing == "on":
+            sink = RecordingSink()
+            kwargs = {"sink": sink, "tracer": Tracer(sink)}
+        estimator = build_estimator(
+            query, "piecemeal-uniform", num_buckets=10, stream=usage_slice, **kwargs
+        )
+        out = 0.0
+        for record in usage_slice:
+            out = estimator.update(record)
+        return out
+
+    result = benchmark(run)
+    assert result >= 0.0
+    benchmark.extra_info["tuples_per_round"] = SLICE
+    benchmark.extra_info["tracing"] = tracing
+
+
 def test_exact_oracle_cost(benchmark, usage_slice):
     """The oracle's O(log n)/step cost — the bar single-pass methods avoid."""
     query = QUERIES["landmark-min"]

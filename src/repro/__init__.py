@@ -27,8 +27,11 @@ from repro.core.keyed import KeyedEstimatorBank
 from repro.core.multiplex import QueryEngine
 from repro.core.parser import parse_query
 from repro.core.query import CorrelatedQuery
+from repro.obs.audit import AccuracyAuditor
+from repro.obs.http import LiveExportHub, MetricsServer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sink import NULL_SINK, LoggingSink, NullSink, ObsSink, RecordingSink
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streams.model import Record, materialize, profile_stream, run_stream
 
 __version__ = "1.0.0"
@@ -53,5 +56,10 @@ __all__ = [
     "NULL_SINK",
     "RecordingSink",
     "LoggingSink",
+    "Tracer",
+    "NULL_TRACER",
+    "AccuracyAuditor",
+    "LiveExportHub",
+    "MetricsServer",
     "__version__",
 ]

@@ -42,6 +42,7 @@ from pathlib import Path
 
 from repro.exceptions import ConfigurationError, StreamError
 from repro.obs.sink import NULL_SINK, ObsSink
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.persistence import (
     OS_FS,
     Filesystem,
@@ -99,6 +100,10 @@ class CheckpointManager:
         resume over another.
     sink:
         Optional :class:`~repro.obs.sink.ObsSink` for lifecycle events.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; writes, restores,
+        resumes and replay runs execute inside ``checkpoint.*`` /
+        ``recovery.*`` spans.
     fs:
         Filesystem seam (fault injection); the real one by default.
     """
@@ -110,6 +115,7 @@ class CheckpointManager:
         retain: int = 3,
         source: str | None = None,
         sink: ObsSink | None = None,
+        tracer: Tracer | None = None,
         fs: Filesystem | None = None,
     ) -> None:
         if every is not None and every <= 0:
@@ -121,6 +127,7 @@ class CheckpointManager:
         self._retain = retain
         self._source = source
         self._obs = sink if sink is not None else NULL_SINK
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._fs = fs if fs is not None else OS_FS
         self._last_saved: int | None = None
 
@@ -166,19 +173,21 @@ class CheckpointManager:
         """Write one generation at stream ``offset`` and rotate old ones."""
         if offset < 0:
             raise ConfigurationError(f"offset must be >= 0, got {offset}")
-        self._fs.mkdir(self._directory)
-        path = self._directory / generation_name(offset)
-        blob = dumps_estimator(CheckpointState(target, offset, self._source))
-        atomic_write_bytes(path, blob, fs=self._fs)
-        self._last_saved = offset
-        self._rotate()
-        if self._obs.enabled:
-            self._obs.emit(
-                "checkpoint.write",
-                offset=float(offset),
-                bytes=float(len(blob)),
-                generations=float(len(self.generations())),
-            )
+        with self._tracer.span("checkpoint.write", offset=float(offset)) as span:
+            self._fs.mkdir(self._directory)
+            path = self._directory / generation_name(offset)
+            blob = dumps_estimator(CheckpointState(target, offset, self._source))
+            atomic_write_bytes(path, blob, fs=self._fs)
+            self._last_saved = offset
+            self._rotate()
+            span.set("bytes", float(len(blob)))
+            if self._obs.enabled:
+                self._obs.emit(
+                    "checkpoint.write",
+                    offset=float(offset),
+                    bytes=float(len(blob)),
+                    generations=float(len(self.generations())),
+                )
         return path
 
     def maybe_save(self, target: object, offset: int) -> Path | None:
@@ -206,41 +215,47 @@ class CheckpointManager:
         all.  A ``source`` mismatch is configuration, not corruption, and
         raises immediately.
         """
-        generations = self.generations()
-        skipped = 0
-        for offset, path in reversed(generations):
-            try:
-                state = loads_estimator(self._fs.read_bytes(path))
-            except (StreamError, OSError):
-                skipped += 1
+        with self._tracer.span("checkpoint.restore") as span:
+            generations = self.generations()
+            skipped = 0
+            for offset, path in reversed(generations):
+                try:
+                    state = loads_estimator(self._fs.read_bytes(path))
+                except (StreamError, OSError):
+                    skipped += 1
+                    if self._obs.enabled:
+                        self._obs.emit("checkpoint.corrupt", offset=float(offset))
+                    continue
+                if not isinstance(state, CheckpointState):
+                    skipped += 1
+                    if self._obs.enabled:
+                        self._obs.emit("checkpoint.corrupt", offset=float(offset))
+                    continue
+                if (
+                    self._source is not None
+                    and state.source is not None
+                    and state.source != self._source
+                ):
+                    raise StreamError(
+                        f"checkpoint {path.name} was taken over source "
+                        f"{state.source!r}, but this manager resumes {self._source!r}"
+                    )
+                span.set("offset", float(state.offset))
+                span.set("skipped", float(skipped))
                 if self._obs.enabled:
-                    self._obs.emit("checkpoint.corrupt", offset=float(offset))
-                continue
-            if not isinstance(state, CheckpointState):
-                skipped += 1
-                if self._obs.enabled:
-                    self._obs.emit("checkpoint.corrupt", offset=float(offset))
-                continue
-            if (
-                self._source is not None
-                and state.source is not None
-                and state.source != self._source
-            ):
+                    self._obs.emit(
+                        "checkpoint.restore",
+                        offset=float(state.offset),
+                        skipped=float(skipped),
+                    )
+                self._last_saved = state.offset
+                return RestoredCheckpoint(state.target, state.offset, path, skipped)
+            if skipped:
                 raise StreamError(
-                    f"checkpoint {path.name} was taken over source "
-                    f"{state.source!r}, but this manager resumes {self._source!r}"
+                    f"all {skipped} checkpoint generations in {self._directory} "
+                    "are corrupt"
                 )
-            if self._obs.enabled:
-                self._obs.emit(
-                    "checkpoint.restore", offset=float(state.offset), skipped=float(skipped)
-                )
-            self._last_saved = state.offset
-            return RestoredCheckpoint(state.target, state.offset, path, skipped)
-        if skipped:
-            raise StreamError(
-                f"all {skipped} checkpoint generations in {self._directory} are corrupt"
-            )
-        return None
+            return None
 
     def resume(
         self, records: Sequence[object], fresh: Callable[[], object] | None = None
@@ -253,23 +268,28 @@ class CheckpointManager:
         checkpoint taken *beyond* the end of ``records`` means the caller
         is resuming over the wrong (shorter) stream and raises.
         """
-        restored = self.restore()
-        if restored is None:
-            if fresh is None:
-                raise StreamError(f"no checkpoint to resume from in {self._directory}")
-            return fresh(), 0
-        if restored.offset > len(records):
-            raise StreamError(
-                f"checkpoint offset {restored.offset} is beyond the resumed "
-                f"stream's length {len(records)}; wrong or truncated source?"
-            )
-        if self._obs.enabled:
-            self._obs.emit(
-                "recovery.replayed",
-                offset=float(restored.offset),
-                count=float(len(records) - restored.offset),
-            )
-        return restored.target, restored.offset
+        with self._tracer.span("recovery.resume") as span:
+            restored = self.restore()
+            if restored is None:
+                if fresh is None:
+                    raise StreamError(
+                        f"no checkpoint to resume from in {self._directory}"
+                    )
+                return fresh(), 0
+            if restored.offset > len(records):
+                raise StreamError(
+                    f"checkpoint offset {restored.offset} is beyond the resumed "
+                    f"stream's length {len(records)}; wrong or truncated source?"
+                )
+            span.set("offset", float(restored.offset))
+            span.set("gap", float(len(records) - restored.offset))
+            if self._obs.enabled:
+                self._obs.emit(
+                    "recovery.replayed",
+                    offset=float(restored.offset),
+                    count=float(len(records) - restored.offset),
+                )
+            return restored.target, restored.offset
 
     # --------------------------------------------------------------- drive
 
@@ -283,13 +303,15 @@ class CheckpointManager:
         a later ``resume`` replays an empty gap instead of the whole tail.
         Returns one ``update`` result per consumed tuple.
         """
-        update = target.update  # type: ignore[attr-defined]
-        outputs = []
-        offset = start
-        for record in records[start:]:
-            outputs.append(update(record))
-            offset += 1
-            self.maybe_save(target, offset)
-        if self._every is not None and offset > start and self._last_saved != offset:
-            self.save(target, offset)
+        with self._tracer.span("recovery.run", start=float(start)) as span:
+            update = target.update  # type: ignore[attr-defined]
+            outputs = []
+            offset = start
+            for record in records[start:]:
+                outputs.append(update(record))
+                offset += 1
+                self.maybe_save(target, offset)
+            if self._every is not None and offset > start and self._last_saved != offset:
+                self.save(target, offset)
+            span.set("consumed", float(offset - start))
         return outputs

@@ -126,15 +126,44 @@ def _render_panel_metrics(panel_result, fmt: str) -> str:
     return "\n\n".join(sections)
 
 
+def _serve_context(args: argparse.Namespace):
+    """Build the live hub/server for ``--serve-metrics`` (None when off).
+
+    Returns ``(server, attach)`` where ``attach(labels, sink, tracer)``
+    registers live instrumentation on the hub.  The serve line is printed
+    (and flushed) before returning so a scraper can find the bound port
+    while the stream is still running.
+    """
+    if args.serve_metrics is None:
+        return None, None
+    from repro.obs.http import LiveExportHub, MetricsServer
+
+    hub = LiveExportHub()
+    server = MetricsServer(hub, port=args.serve_metrics)
+    port = server.start()
+    print(f"serving metrics on http://127.0.0.1:{port}/metrics", flush=True)
+    return server, hub.attach
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     methods = args.methods.split(",") if args.methods else None
     checkpointing = args.checkpoint_every is not None or args.resume_from is not None
+    serving = args.serve_metrics is not None
+    audit_every = args.audit_every
+    if serving and audit_every is None:
+        audit_every = 100  # live scrapes should always carry audit gauges
     extra: dict[str, object] = {}
     if checkpointing:
         if args.metrics:
             raise ConfigurationError(
                 "--metrics and checkpointing are mutually exclusive (a resumed "
                 "run cannot splice per-update latency across processes)"
+            )
+        if serving or audit_every is not None:
+            raise ConfigurationError(
+                "--serve-metrics/--audit-every and checkpointing are mutually "
+                "exclusive (live instrumentation does not resume across "
+                "processes)"
             )
         if args.batch_size:
             raise ConfigurationError(
@@ -158,14 +187,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         # batch_size is a replay knob of the non-resumable path only.
         extra = {"batch_size": args.batch_size}
-    panels = run_experiment(
-        args.experiment,
-        size=args.size,
-        methods=methods,
-        num_buckets=args.buckets,
-        obs=args.metrics,
-        **extra,
-    )
+    server, attach = _serve_context(args)
+    on_instrument = None
+    if attach is not None:
+        def on_instrument(method, sink, tracer):
+            attach(
+                {"experiment": args.experiment, "method": method},
+                sink=sink,
+                tracer=tracer,
+            )
+    try:
+        panels = run_experiment(
+            args.experiment,
+            size=args.size,
+            methods=methods,
+            num_buckets=args.buckets,
+            obs=args.metrics,
+            trace=serving,
+            audit_every=audit_every,
+            audit_budget=args.audit_budget,
+            on_instrument=on_instrument,
+            **extra,
+        )
+    finally:
+        if server is not None:
+            server.stop()
     spec = EXPERIMENTS[args.experiment]
     print(f"{spec.figure}: {spec.description}\n")
     for panel_result in panels:
@@ -220,7 +266,16 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         )
     records = load_dataset(args.dataset, size=args.size)
     method = args.method or methods_for_query(query)[2]  # piecemeal-uniform
-    sink = RecordingSink() if args.metrics else None
+    serving = args.serve_metrics is not None
+    audit_every = args.audit_every
+    if serving and audit_every is None:
+        audit_every = 100  # live scrapes should always carry audit gauges
+    if args.time_window is not None and (serving or audit_every is not None):
+        raise ConfigurationError(
+            "--serve-metrics/--audit-every audit update(record) and cannot "
+            "wrap a --time-window estimator's (time, record) contract"
+        )
+    sink = RecordingSink() if (args.metrics or serving) else None
 
     from repro.eval.tracker import MethodResult, run_method
 
@@ -237,10 +292,25 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         outputs = estimator.update_many_timed(timed)
         exact = exact_time_series(timed, query, args.time_window)
     else:
-        outputs = run_method(
-            records, query, method, num_buckets=args.buckets, sink=sink,
-            batch_size=args.batch_size,
-        )
+        server, attach = _serve_context(args)
+        tracer = None
+        if serving:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer(sink)
+            assert attach is not None
+            attach(
+                {"dataset": args.dataset, "method": method}, sink=sink, tracer=tracer
+            )
+        try:
+            outputs = run_method(
+                records, query, method, num_buckets=args.buckets, sink=sink,
+                batch_size=args.batch_size, tracer=tracer,
+                audit_every=audit_every, audit_budget=args.audit_budget,
+            )
+        finally:
+            if server is not None:
+                server.stop()
         exact = exact_series(records, query)
 
     import numpy as np
@@ -274,6 +344,38 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             print()
             print(format_metrics_table(sink.registry))
     return 0
+
+
+def _add_serve_flags(sub: argparse.ArgumentParser) -> None:
+    """The flight-recorder flags shared by ``run`` and ``estimate``."""
+    sub.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        dest="serve_metrics",
+        metavar="PORT",
+        help="serve /metrics, /healthz and /spans on this port while the "
+        "stream runs (0 = OS-assigned; enables tracing and a default "
+        "audit period of 100)",
+    )
+    sub.add_argument(
+        "--audit-every",
+        type=int,
+        default=None,
+        dest="audit_every",
+        metavar="N",
+        help="audit the estimator against an exact shadow every N tuples "
+        "(publishes audit.* gauges)",
+    )
+    sub.add_argument(
+        "--audit-budget",
+        type=float,
+        default=None,
+        dest="audit_budget",
+        metavar="ERR",
+        help="relative-error budget; crossing it counts a breach and emits "
+        "an audit.error_budget event",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -341,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from the newest intact checkpoint generation in this "
         "directory and replay only the gap",
     )
+    _add_serve_flags(run)
     run.set_defaults(handler=_cmd_run)
 
     stats = sub.add_parser(
@@ -399,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(METRICS_FORMATS),
         dest="metrics_format",
     )
+    _add_serve_flags(est)
     est.set_defaults(handler=_cmd_estimate)
 
     return parser

@@ -65,6 +65,7 @@ from repro.histograms.reallocate import (
     wholesale_reallocate,
 )
 from repro.obs.sink import NULL_SINK, ObsSink
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.streams.model import Record, ensure_finite
 from repro.structures.ring_buffer import RingBuffer
 
@@ -102,6 +103,7 @@ class FocusedEstimatorBase:
         policy: str,
         swap_period: int,
         sink: ObsSink | None,
+        tracer: Tracer | None = None,
     ) -> None:
         """Validate and install the state every focused estimator shares."""
         if num_buckets < self._min_buckets:
@@ -120,6 +122,7 @@ class FocusedEstimatorBase:
         self._policy = policy
         self._swap_period = swap_period
         self._obs = sink if sink is not None else NULL_SINK
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._buffer: list[Record] | None = []
         self._inner: BucketArray | None = None
         self._adds_since_swap = 0
@@ -195,6 +198,9 @@ class FocusedEstimatorBase:
             self._warmup_step(record)
         else:
             self._step(record, carrier)
+        if self._tracer.enabled:  # per-tuple edge: guard before span setup
+            with self._tracer.span("kernel.answer"):
+                return self.estimate()
         return self.estimate()
 
     def _warmup_step(self, record: Record) -> None:
@@ -208,19 +214,23 @@ class FocusedEstimatorBase:
         """One steady-state step: retarget, maybe move buckets, place."""
         lo, hi = self._target_interval()
         if self._should_reallocate(lo, hi):
-            self._reallocate(lo, hi)
+            with self._tracer.span("kernel.reallocate", low=lo, high=hi):
+                self._reallocate(lo, hi)
         self._route_add(record)
 
     # ------------------------------------------------------ build/rebuild
 
     def _build_histogram(self) -> None:
         """End warmup: partition the focus region and seed it."""
-        lo, hi = self._build_interval()
-        self._inner = BucketArray(self._build_edges(lo, hi))
-        if self._obs.enabled:
-            self._obs.emit("hist.build", buckets=float(self._inner_m), low=lo, high=hi)
-        self._seed_histogram()
-        self._buffer = None
+        with self._tracer.span("kernel.build", buckets=float(self._inner_m)):
+            lo, hi = self._build_interval()
+            self._inner = BucketArray(self._build_edges(lo, hi))
+            if self._obs.enabled:
+                self._obs.emit(
+                    "hist.build", buckets=float(self._inner_m), low=lo, high=hi
+                )
+            self._seed_histogram()
+            self._buffer = None
 
     def _build_interval(self) -> tuple[float, float]:
         return self._target_interval()
@@ -254,15 +264,18 @@ class FocusedEstimatorBase:
         Runs in O(w), but only on rebuild events (regime breaks and the
         periodic re-sort); the per-tuple path stays O(m).
         """
-        edges = self._rebuild_edges(lo, hi)
-        if self._obs.enabled:
-            self._obs.emit(
-                "hist.rebuild", reason=reason, low=lo, high=hi, scanned=self._population()
-            )
-        self._inner = BucketArray(edges)
-        self._reset_tails()
-        self._steps_since_rebuild = 0
-        self._reseed_from_window()
+        with self._tracer.span("kernel.rebuild", reason=reason) as span:
+            edges = self._rebuild_edges(lo, hi)
+            scanned = self._population()
+            span.set("scanned", scanned)
+            if self._obs.enabled:
+                self._obs.emit(
+                    "hist.rebuild", reason=reason, low=lo, high=hi, scanned=scanned
+                )
+            self._inner = BucketArray(edges)
+            self._reset_tails()
+            self._steps_since_rebuild = 0
+            self._reseed_from_window()
 
     def _population(self) -> float:
         """How many live tuples a from-window rebuild scans."""
@@ -667,7 +680,8 @@ class RingWindowMixin:
         if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
             self._rebuild_from_window(lo, hi, reason="periodic")
         elif self._should_reallocate(lo, hi):
-            self._reallocate(lo, hi)
+            with self._tracer.span("kernel.reallocate", low=lo, high=hi):
+                self._reallocate(lo, hi)
         if cell[1] is None:
             cell[1] = self._route_add(record)
 

@@ -41,6 +41,7 @@ from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError
 from repro.histograms.partition import normal_quantile_boundaries
 from repro.obs.sink import ObsSink
+from repro.obs.trace import Tracer
 from repro.streams.model import Record
 from repro.structures.welford import RunningMoments
 
@@ -115,6 +116,7 @@ class LandmarkAvgEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
         drift_tolerance: float = 0.3,
         swap_period: int = 32,
         sink: ObsSink | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if query.independent != "avg":
             raise ConfigurationError(
@@ -122,7 +124,7 @@ class LandmarkAvgEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
             )
         if query.is_sliding:
             raise ConfigurationError("query has a sliding window; use SlidingAvgEstimator")
-        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink, tracer)
         if k_std <= 0:
             raise ConfigurationError(f"k_std must be positive, got {k_std}")
         if drift_tolerance <= 0:

@@ -45,6 +45,7 @@ from repro.histograms.partition import (
 )
 from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
 from repro.obs.sink import ObsSink
+from repro.obs.trace import Tracer
 from repro.streams.model import Record
 
 __all__ = ["LandmarkExtremaEstimator", "STRATEGIES"]
@@ -81,6 +82,7 @@ class LandmarkExtremaEstimator(FocusedEstimatorBase):
         policy: str = "uniform",
         swap_period: int = 32,
         sink: ObsSink | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if query.independent not in ("min", "max"):
             raise ConfigurationError(
@@ -90,7 +92,7 @@ class LandmarkExtremaEstimator(FocusedEstimatorBase):
             raise ConfigurationError(
                 "query has a sliding window; use SlidingExtremaEstimator"
             )
-        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink, tracer)
         if swap_period < 1:
             raise ConfigurationError(f"swap_period must be >= 1, got {swap_period}")
         self._extremum: float | None = None
@@ -214,10 +216,11 @@ class LandmarkExtremaEstimator(FocusedEstimatorBase):
                 high=new_high,
                 disjoint=float(disjoint),
             )
-        if disjoint:
-            self._reinitialize(new_region)
-        else:
-            self._reallocate(new_region)
+        with self._tracer.span("kernel.reallocate", low=new_low, high=new_high):
+            if disjoint:
+                self._reinitialize(new_region)
+            else:
+                self._reallocate(new_region)
         self._extremum = x
         self._region = new_region
 
@@ -242,6 +245,12 @@ class LandmarkExtremaEstimator(FocusedEstimatorBase):
         # and fold ``total().clamped()`` + ``value_from`` into the one sum
         # the dependent aggregate actually reads.  Histogram bindings are
         # refreshed only when a region shift or swap replaces the array.
+        if self._tracer.enabled:
+            # Tracing wants the per-tuple answer span; take the generic
+            # (update()-per-record) loop so the spans match the unbatched
+            # path exactly.
+            super()._update_batch(records, start, outputs)
+            return
         query = self._query
         is_min = query.independent == "min"
         quantile = self._policy == "quantile"

@@ -40,6 +40,7 @@ from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError
 from repro.histograms.partition import normal_quantile_boundaries
 from repro.obs.sink import ObsSink
+from repro.obs.trace import Tracer
 from repro.streams.model import Record
 from repro.structures.intervals import IntervalExtremaTracker
 from repro.structures.welford import RunningMoments
@@ -94,6 +95,7 @@ class SlidingAvgEstimator(RingWindowMixin, TwoTailSummaryMixin, FocusedEstimator
         swap_period: int = 32,
         rebuild_period: int | None = None,
         sink: ObsSink | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if query.independent != "avg":
             raise ConfigurationError(
@@ -101,7 +103,7 @@ class SlidingAvgEstimator(RingWindowMixin, TwoTailSummaryMixin, FocusedEstimator
             )
         if not query.is_sliding:
             raise ConfigurationError("query has a landmark scope; use LandmarkAvgEstimator")
-        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink, tracer)
         window = query.window
         assert window is not None
         self._init_ring(window, num_buckets, num_intervals, rebuild_period)

@@ -38,6 +38,7 @@ from repro.histograms.mass import pour_uniform
 from repro.histograms.partition import quantile_boundaries_from_values, uniform_boundaries
 from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
 from repro.obs.sink import ObsSink
+from repro.obs.trace import Tracer
 from repro.streams.model import Record
 from repro.structures.intervals import IntervalExtremaTracker
 
@@ -97,6 +98,7 @@ class SlidingExtremaEstimator(RingWindowMixin, FocusedEstimatorBase):
         swap_period: int = 32,
         rebuild_period: int | None = 0,
         sink: ObsSink | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if query.independent not in ("min", "max"):
             raise ConfigurationError(
@@ -106,7 +108,7 @@ class SlidingExtremaEstimator(RingWindowMixin, FocusedEstimatorBase):
             raise ConfigurationError(
                 "query has a landmark scope; use LandmarkExtremaEstimator"
             )
-        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink)
+        self._init_kernel(query, num_buckets, strategy, policy, swap_period, sink, tracer)
         window = query.window
         assert window is not None
         self._init_ring(window, num_buckets, num_intervals, rebuild_period)

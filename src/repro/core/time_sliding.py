@@ -39,6 +39,7 @@ from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
 from repro.histograms.partition import uniform_boundaries
 from repro.obs.sink import ObsSink
+from repro.obs.trace import Tracer
 from repro.streams.model import Record, ensure_finite
 from repro.structures.time_intervals import TimeIntervalExtremaTracker
 from repro.structures.welford import RunningMoments
@@ -100,6 +101,7 @@ class TimeSlidingEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
         drift_tolerance: float = 0.3,
         rebuild_period: int = 64,
         sink: ObsSink | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if query.is_sliding:
             raise ConfigurationError(
@@ -108,7 +110,7 @@ class TimeSlidingEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
             )
         if duration <= 0.0:
             raise ConfigurationError(f"duration must be positive, got {duration}")
-        self._init_kernel(query, num_buckets, strategy, policy, 32, sink)
+        self._init_kernel(query, num_buckets, strategy, policy, 32, sink, tracer)
         if k_std <= 0:
             raise ConfigurationError(f"k_std must be positive, got {k_std}")
         if rebuild_period < 0:

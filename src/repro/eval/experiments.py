@@ -32,7 +32,12 @@ from repro.checkpoint import CheckpointManager
 from repro.core.engine import methods_for_query
 from repro.core.query import CorrelatedQuery
 from repro.datasets.registry import load_dataset
-from repro.eval.tracker import MethodResult, evaluate_methods, evaluate_methods_resumable
+from repro.eval.tracker import (
+    InstrumentHook,
+    MethodResult,
+    evaluate_methods,
+    evaluate_methods_resumable,
+)
 from repro.exceptions import ConfigurationError
 from repro.streams.model import Record
 from repro.streams.ordering import as_is, partially_sorted_reverse, random_permutation
@@ -180,6 +185,10 @@ def run_experiment(
     methods: Sequence[str] | None = None,
     num_buckets: int | None = None,
     obs: bool = False,
+    trace: bool = False,
+    audit_every: int | None = None,
+    audit_budget: float | None = None,
+    on_instrument: InstrumentHook | None = None,
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int | None = None,
     resume: bool = False,
@@ -200,6 +209,18 @@ def run_experiment(
     obs:
         Attach a recording sink per method (lifecycle events, per-update
         latency); each result carries it in ``.obs``.
+    trace:
+        Give each method a span tracer (``kernel.*`` / ``eval.replay``
+        spans aggregate into its registry).  Implies ``obs``.
+    audit_every:
+        Wrap each method in a live accuracy auditor with this period.
+        Implies ``obs``.
+    audit_budget:
+        Relative-error budget for the auditor's breach accounting.
+    on_instrument:
+        Per-method ``(method, sink, tracer)`` callback — the CLI's seam
+        for exposing live registries on ``/metrics``.  The panel index is
+        visible to the caller via closure state if needed.
     checkpoint_dir:
         Enable the crash-safe path: each panel's evaluation runs through
         a :class:`~repro.checkpoint.CheckpointManager` rooted at
@@ -221,7 +242,7 @@ def run_experiment(
         spec = EXPERIMENTS[spec]
     if (checkpoint_every is not None or resume) and checkpoint_dir is None:
         raise ConfigurationError("checkpoint_every/resume need a checkpoint_dir")
-    if checkpoint_dir is not None and obs:
+    if checkpoint_dir is not None and (obs or trace or audit_every is not None):
         raise ConfigurationError(
             "obs instrumentation and checkpointing are mutually exclusive "
             "(a resumed run cannot splice per-update latency across processes)"
@@ -251,7 +272,15 @@ def run_experiment(
             )
         else:
             results = evaluate_methods(
-                records, panel.query, methods=wanted, num_buckets=buckets, obs=obs,
+                records,
+                panel.query,
+                methods=wanted,
+                num_buckets=buckets,
+                obs=obs,
+                trace=trace,
+                audit_every=audit_every,
+                audit_budget=audit_budget,
+                on_instrument=on_instrument,
                 **kwargs,
             )
         panel_results.append(PanelResult(panel=panel, results=results))

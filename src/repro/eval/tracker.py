@@ -16,7 +16,7 @@ when ``obs`` is False, so the default path pays nothing.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from time import perf_counter_ns
 
@@ -29,9 +29,15 @@ from repro.core.multiplex import QueryEngine
 from repro.core.query import CorrelatedQuery
 from repro.eval.metrics import prefix_rmse_series, rmse, sliding_rmse_series
 from repro.exceptions import ConfigurationError, StreamError
+from repro.obs.audit import AccuracyAuditor
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sink import ObsSink, RecordingSink
+from repro.obs.trace import Tracer
 from repro.streams.model import Record, StreamAlgorithm
+
+#: Callback invoked once per instrumented method with its live sink and
+#: tracer (the CLI hangs the ``/metrics`` hub off this seam).
+InstrumentHook = Callable[[str, RecordingSink | None, Tracer | None], None]
 
 #: Methods whose construction scans the stream for offline knowledge
 #: (equiwidth's domain, equidepth's and exact's universe).  The tracker
@@ -121,16 +127,45 @@ def run_method(
     num_buckets: int = 10,
     sink: ObsSink | None = None,
     batch_size: int | None = None,
+    tracer: Tracer | None = None,
+    audit_every: int | None = None,
+    audit_budget: float | None = None,
     **kwargs: object,
 ) -> list[float]:
-    """Replay ``records`` through one method; return its output series."""
+    """Replay ``records`` through one method; return its output series.
+
+    With ``tracer`` the estimator's lifecycle edges record spans and the
+    whole replay runs inside an ``eval.replay`` span; with ``audit_every``
+    the estimator is wrapped in an :class:`~repro.obs.audit.AccuracyAuditor`
+    auditing every that many tuples against ``audit_budget``.
+    """
     if not records:
         raise ConfigurationError("run_method needs a non-empty stream")
+    if tracer is not None:
+        kwargs["tracer"] = tracer
     estimator = build_estimator(
         query, method, num_buckets=num_buckets, stream=records, sink=sink, **kwargs
     )
+    if audit_every is not None:
+        if kwargs.get("time_window") is not None:
+            raise ConfigurationError(
+                "auditing drives update(record) and cannot wrap a "
+                "time-window estimator's (time, record) contract"
+            )
+        estimator = AccuracyAuditor(
+            estimator,
+            query,
+            every=audit_every,
+            budget=audit_budget,
+            sink=sink,
+            tracer=tracer,
+        )
     registry = sink.registry if isinstance(sink, RecordingSink) else None
-    outputs = _replay(estimator, records, registry, batch_size=batch_size)
+    if tracer is not None:
+        with tracer.span("eval.replay", method=method, records=float(len(records))):
+            outputs = _replay(estimator, records, registry, batch_size=batch_size)
+    else:
+        outputs = _replay(estimator, records, registry, batch_size=batch_size)
     if registry is not None:
         _snapshot_state(estimator, registry)
     return outputs
@@ -270,6 +305,10 @@ def evaluate_methods(
     exact: Sequence[float] | None = None,
     obs: bool = False,
     batch_size: int | None = None,
+    trace: bool = False,
+    audit_every: int | None = None,
+    audit_budget: float | None = None,
+    on_instrument: InstrumentHook | None = None,
     **kwargs: object,
 ) -> dict[str, MethodResult]:
     """Replay ``records`` through several methods against the exact oracle.
@@ -293,6 +332,20 @@ def evaluate_methods(
         Feed each method through ``update_many`` in chunks of this many
         records (None = one batch per stream).  Ignored under ``obs``,
         which needs the scalar loop to clock individual updates.
+    trace:
+        Give each method a :class:`~repro.obs.trace.Tracer` exporting into
+        its recording sink: lifecycle spans (``kernel.*``, ``eval.replay``)
+        aggregate as ``span.*.duration_ns`` histograms.  Implies ``obs``.
+    audit_every:
+        Wrap each method in an :class:`~repro.obs.audit.AccuracyAuditor`
+        auditing every that many tuples (``audit.*`` metrics land in the
+        method's registry).  Implies ``obs``.
+    audit_budget:
+        Relative-error budget for the auditor's breach accounting.
+    on_instrument:
+        Called once per method with ``(method, sink, tracer)`` right after
+        construction — the seam the CLI uses to expose live registries on
+        ``/metrics`` while the replay is still running.
     kwargs:
         Extra configuration for focused estimators.
     """
@@ -300,6 +353,12 @@ def evaluate_methods(
         raise ConfigurationError("evaluate_methods needs a non-empty stream")
     if methods is None:
         methods = methods_for_query(query)
+    if audit_every is not None and kwargs.get("time_window") is not None:
+        raise ConfigurationError(
+            "auditing drives update(record) and cannot wrap a time-window "
+            "estimator's (time, record) contract"
+        )
+    instrumented = obs or trace or audit_every is not None
     reference = np.asarray(
         exact if exact is not None else exact_series(records, query), dtype=np.float64
     )
@@ -322,7 +381,11 @@ def evaluate_methods(
     window = query.window
     results: dict[str, MethodResult] = {}
     for method in methods:
-        sink = RecordingSink() if obs else None
+        sink = RecordingSink() if instrumented else None
+        tracer = Tracer(sink) if trace else None
+        method_kwargs = dict(kwargs)
+        if tracer is not None:
+            method_kwargs["tracer"] = tracer
         estimator = build_estimator(
             query,
             method,
@@ -331,13 +394,28 @@ def evaluate_methods(
             domain=domain,
             universe=universe,
             sink=sink,
-            **kwargs,
+            **method_kwargs,
         )
+        if audit_every is not None:
+            estimator = AccuracyAuditor(
+                estimator,
+                query,
+                every=audit_every,
+                budget=audit_budget,
+                sink=sink,
+                tracer=tracer,
+            )
+        if on_instrument is not None:
+            on_instrument(method, sink, tracer)
         registry = sink.registry if sink is not None else None
-        outputs = np.asarray(
-            _replay(estimator, records, registry, batch_size=batch_size),
-            dtype=np.float64,
-        )
+        if tracer is not None:
+            with tracer.span(
+                "eval.replay", method=method, records=float(len(records))
+            ):
+                raw = _replay(estimator, records, registry, batch_size=batch_size)
+        else:
+            raw = _replay(estimator, records, registry, batch_size=batch_size)
+        outputs = np.asarray(raw, dtype=np.float64)
         if registry is not None:
             _snapshot_state(estimator, registry)
             registry.counter("eval.domain_scans_saved").inc(float(scans_saved))

@@ -1,23 +1,35 @@
-"""repro.obs — the instrumentation layer.
+"""repro.obs — the instrumentation layer (the flight recorder).
 
 A metrics registry (:class:`MetricsRegistry` with counters, gauges,
 histograms, timers), a structured event-tracing protocol
-(:class:`ObsSink`, with null / recording / logging implementations), and
-text expositions (table, JSON, Prometheus).
+(:class:`ObsSink`, with null / recording / logging implementations),
+hierarchical span tracing (:class:`Tracer` / :class:`Span`), a live
+accuracy auditor (:class:`AccuracyAuditor` — a sampled exact shadow next
+to any estimator), text expositions (table, JSON, Prometheus), and a
+scrapeable HTTP surface (:class:`MetricsServer` serving ``/metrics``,
+``/healthz``, ``/spans`` over a :class:`LiveExportHub`).
 
-Every estimator accepts ``sink=`` and reports its adaptive behaviour
-through it; with the default :data:`NULL_SINK` the instrumentation costs
-one attribute load and branch per potential event site.  See
-``docs/OBSERVABILITY.md`` for the event catalogue and usage recipes.
+Every estimator accepts ``sink=`` (events/metrics) and ``tracer=``
+(lifecycle spans) and reports its adaptive behaviour through them; with
+the defaults :data:`NULL_SINK` / :data:`NULL_TRACER` the instrumentation
+costs one attribute load and branch per potential event site.  See
+``docs/OBSERVABILITY.md`` for the event/span catalogue and usage recipes.
 """
 
+from repro.obs.audit import SHADOW_RESERVOIR, AccuracyAuditor, relative_error
 from repro.obs.exposition import (
     format_metrics_table,
     render_json,
     render_many_prometheus,
     render_prometheus,
 )
+from repro.obs.http import (
+    PROMETHEUS_CONTENT_TYPE,
+    LiveExportHub,
+    MetricsServer,
+)
 from repro.obs.registry import (
+    HISTOGRAM_RESERVOIR,
     Counter,
     Gauge,
     Histogram,
@@ -33,11 +45,18 @@ from repro.obs.sink import (
     RecordingSink,
     TeeSink,
 )
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HISTOGRAM_RESERVOIR",
     "Timer",
     "MetricsRegistry",
     "ObsEvent",
@@ -47,6 +66,16 @@ __all__ = [
     "RecordingSink",
     "LoggingSink",
     "TeeSink",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "AccuracyAuditor",
+    "SHADOW_RESERVOIR",
+    "relative_error",
+    "LiveExportHub",
+    "MetricsServer",
+    "PROMETHEUS_CONTENT_TYPE",
     "format_metrics_table",
     "render_json",
     "render_prometheus",

@@ -17,6 +17,7 @@ without creating an import cycle.
 from __future__ import annotations
 
 import json
+import math
 import re
 from collections.abc import Mapping, Sequence
 
@@ -72,8 +73,25 @@ def _prom_name(name: str, prefix: str) -> str:
     return _PROM_INVALID.sub("_", f"{prefix}_{name}")
 
 
+def _prom_value(value: float) -> str:
+    """Prometheus sample value: ``NaN``/``+Inf``/``-Inf`` spelled per spec."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the text format: ``\\``, ``"``, newline."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
 def _prom_labels(labels: Mapping[str, str] | None, extra: str | None = None) -> str:
-    parts = [f'{_PROM_INVALID.sub("_", k)}="{v}"' for k, v in (labels or {}).items()]
+    parts = [
+        f'{_PROM_INVALID.sub("_", k)}="{_prom_label_value(str(v))}"'
+        for k, v in (labels or {}).items()
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -96,19 +114,23 @@ def render_prometheus(
         name = _prom_name(metric.name, prefix)
         if isinstance(metric, Counter):
             lines.append(f"# TYPE {name}_total counter")
-            lines.append(f"{name}_total{_prom_labels(labels)} {metric.value:g}")
+            lines.append(f"{name}_total{_prom_labels(labels)} {_prom_value(metric.value)}")
         elif isinstance(metric, Gauge):
             lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name}{_prom_labels(labels)} {metric.value:g}")
+            lines.append(f"{name}{_prom_labels(labels)} {_prom_value(metric.value)}")
         else:  # Histogram / Timer -> summary
             summary = metric.summary()
             lines.append(f"# TYPE {name} summary")
             for quantile in ("p50", "p95", "p99"):
                 q = float(quantile[1:]) / 100.0
                 sample = _prom_labels(labels, f'quantile="{q:g}"')
-                lines.append(f"{name}{sample} {summary[quantile]:g}")
-            lines.append(f"{name}_sum{_prom_labels(labels)} {summary['total']:g}")
-            lines.append(f"{name}_count{_prom_labels(labels)} {summary['count']:g}")
+                lines.append(f"{name}{sample} {_prom_value(summary[quantile])}")
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} {_prom_value(summary['total'])}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} {_prom_value(summary['count'])}"
+            )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

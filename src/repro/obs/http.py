@@ -1,0 +1,218 @@
+"""A scrapeable HTTP surface for the flight recorder.
+
+Two pieces, both stdlib-only:
+
+* :class:`LiveExportHub` — a thread-safe roster of labelled
+  :class:`~repro.obs.registry.MetricsRegistry` instances and
+  :class:`~repro.obs.trace.Tracer` ring buffers.  The stream thread
+  registers instrumentation as it comes alive; exporter threads render
+  whatever is currently live.
+* :class:`MetricsServer` — a threaded :mod:`http.server` exposing
+
+  ==============  ============================================================
+  ``/metrics``    Prometheus text exposition of every registered registry
+  ``/healthz``    JSON liveness document (uptime, roster sizes)
+  ``/spans``      the merged recent-span ring buffers as JSON
+  ==============  ============================================================
+
+The server binds ``127.0.0.1`` by default and is meant to sit next to a
+running stream (``python -m repro run F4 --serve-metrics 9100``); a
+Prometheus scraper pointed at ``/metrics`` ingests the live run without
+translation, which is the contract the roadmap's alerting daemon builds
+on.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ConfigurationError
+from repro.obs.exposition import render_many_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import RecordingSink
+from repro.obs.trace import Tracer
+
+#: Content type mandated by the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class LiveExportHub:
+    """Thread-safe roster of live registries and tracers to export.
+
+    Re-registering under identical labels *replaces* the previous entry,
+    so a sweep that runs one method after another always exposes the
+    live instance, not a pile of finished ones.
+    """
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._registries: list[tuple[dict[str, str], MetricsRegistry]] = []
+        self._tracers: list[tuple[dict[str, str], Tracer]] = []
+        self.started_ns = time.time_ns()
+
+    def add_registry(self, labels: dict[str, str], registry: MetricsRegistry) -> None:
+        """Expose ``registry`` under ``labels`` (replacing equal labels)."""
+        with self._lock:
+            self._registries = [
+                entry for entry in self._registries if entry[0] != labels
+            ]
+            self._registries.append((dict(labels), registry))
+
+    def add_tracer(self, labels: dict[str, str], tracer: Tracer) -> None:
+        """Expose ``tracer``'s span ring under ``labels``."""
+        with self._lock:
+            self._tracers = [entry for entry in self._tracers if entry[0] != labels]
+            self._tracers.append((dict(labels), tracer))
+
+    def attach(
+        self,
+        labels: dict[str, str],
+        sink: RecordingSink | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        """Register a recording sink's registry and/or a tracer in one call."""
+        if sink is not None:
+            self.add_registry(labels, sink.registry)
+        if tracer is not None:
+            self.add_tracer(labels, tracer)
+
+    # ------------------------------------------------------------ rendering
+
+    def render_prometheus(self) -> str:
+        """One Prometheus text document over every registered registry."""
+        with self._lock:
+            entries = list(self._registries)
+        return render_many_prometheus(entries, prefix=self.prefix)
+
+    def spans(self, limit: int = 200) -> list[dict[str, object]]:
+        """Recent spans across every tracer, newest last, label-annotated."""
+        with self._lock:
+            tracers = list(self._tracers)
+        merged: list[dict[str, object]] = []
+        for labels, tracer in tracers:
+            for span in tracer.recent():
+                span["labels"] = dict(labels)
+                merged.append(span)
+        merged.sort(key=lambda span: span["start_ns"])
+        return merged[-limit:]
+
+    def health(self) -> dict[str, object]:
+        """Liveness document for ``/healthz``."""
+        with self._lock:
+            registries, tracers = len(self._registries), len(self._tracers)
+        return {
+            "status": "ok",
+            "uptime_seconds": (time.time_ns() - self.started_ns) / 1e9,
+            "registries": registries,
+            "tracers": tracers,
+        }
+
+
+class _HubRequestHandler(BaseHTTPRequestHandler):
+    """GET-only handler over the server's :class:`LiveExportHub`."""
+
+    server_version = "repro-obs/1.0"
+    hub: LiveExportHub  # installed by MetricsServer via subclassing
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._respond(self.hub.render_prometheus(), PROMETHEUS_CONTENT_TYPE)
+        elif path == "/healthz":
+            self._respond_json(self.hub.health())
+        elif path == "/spans":
+            self._respond_json({"spans": self.hub.spans()})
+        else:
+            body = b'{"error": "not found; try /metrics, /healthz, /spans"}'
+            self._respond_bytes(body, "application/json", status=404)
+
+    def _respond(self, text: str, content_type: str, status: int = 200) -> None:
+        self._respond_bytes(text.encode("utf-8"), content_type, status)
+
+    def _respond_json(self, document: dict[str, object]) -> None:
+        self._respond(json.dumps(document, indent=2), "application/json")
+
+    def _respond_bytes(self, body: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Scrapes are routine; keep stderr quiet."""
+
+
+class MetricsServer:
+    """Serve a :class:`LiveExportHub` from a daemon thread.
+
+    Parameters
+    ----------
+    hub:
+        The roster to serve.
+    host:
+        Bind address (loopback by default — exposing beyond the host is a
+        deployment decision, not a library default).
+    port:
+        TCP port; ``0`` lets the OS pick one (read :attr:`port` after
+        :meth:`start`).
+    """
+
+    def __init__(self, hub: LiveExportHub, host: str = "127.0.0.1", port: int = 0) -> None:
+        if not 0 <= port <= 65535:
+            raise ConfigurationError(f"port must be in [0, 65535], got {port}")
+        self.hub = hub
+        self._host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind and serve from a daemon thread; returns the bound port."""
+        if self._server is not None:
+            raise ConfigurationError("metrics server already started")
+        handler = type("BoundHandler", (_HubRequestHandler,), {"hub": self.hub})
+        self._server = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> MetricsServer:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

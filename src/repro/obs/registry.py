@@ -11,10 +11,14 @@ Four metric kinds cover everything the estimators report:
 * :class:`Timer` — a histogram of durations in nanoseconds with a
   context-manager interface around :func:`time.perf_counter_ns`.
 
-The registry creates metrics on first use and is deliberately not
-thread-safe: one registry per estimator run is the intended granularity
-(the tracker attaches a fresh one per method), matching the single-threaded
-stream computation model.
+The registry creates metrics on first use.  Creation and lookup
+(:meth:`MetricsRegistry._get` and friends) are guarded by a lock so the
+threaded ``/metrics`` exporter can render while the stream thread keeps
+writing; individual metric mutations (``inc``/``set``/``observe``) are
+single CPython bytecode-level operations and stay lock-free — a scrape
+may observe a histogram between its ``count`` and ``total`` updates, which
+is the usual monitoring-grade consistency, never a crash or a torn
+structure.
 
 Overhead discipline: nothing here sits on an estimator's hot path.  The
 estimators talk to an :class:`~repro.obs.sink.ObsSink`; metric objects are
@@ -23,8 +27,11 @@ only touched when a *recording* sink is installed.
 
 from __future__ import annotations
 
+import threading
 import time
+import zlib
 from collections.abc import Iterator
+from random import Random
 
 from repro.exceptions import ConfigurationError
 
@@ -32,6 +39,12 @@ from repro.exceptions import ConfigurationError
 #: exposition format).  p50/p95/p99 are the per-update latency trio the
 #: benchmark harness prints.
 SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Default :class:`Histogram` sample-retention cap.  ``count``/``total``/
+#: ``min``/``max``/``mean`` stay exact forever; once a histogram has seen
+#: more observations than this, percentiles are computed over a uniform
+#: reservoir sample of this size instead of the full population.
+HISTOGRAM_RESERVOIR = 4096
 
 
 class Counter:
@@ -95,57 +108,101 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of observed values with exact percentiles.
+    """A distribution of observed values with bounded sample storage.
 
-    Observations are retained in full (streams here are 1e4–1e5 tuples, so
-    exact percentiles are affordable); :meth:`percentile` sorts lazily and
-    caches until the next observation.
+    ``count``, ``total``, ``mean``, ``min`` and ``max`` are maintained as
+    exact running scalars forever.  The observations backing
+    :meth:`percentile` are retained in full up to ``max_samples``
+    (:data:`HISTOGRAM_RESERVOIR` by default); past the cap the retained
+    set degrades gracefully into a uniform reservoir sample (Vitter's
+    algorithm R, seeded deterministically from the metric name), so a
+    long-running stream gets *sampled* percentiles at a fixed memory
+    ceiling instead of unbounded metric growth.  :meth:`percentile` sorts
+    lazily and caches until the next retained observation.
     """
 
-    __slots__ = ("name", "_values", "_sorted", "_total")
+    __slots__ = ("name", "_samples", "_sorted", "_total", "_count", "_min", "_max", "_rng")
 
     kind = "histogram"
 
+    #: Sample-retention cap; subclasses or tests may override per class.
+    max_samples = HISTOGRAM_RESERVOIR
+
     def __init__(self, name: str) -> None:
         self.name = name
-        self._values: list[float] = []
+        self._samples: list[float] = []
         self._sorted: list[float] | None = None
         self._total = 0.0
+        self._count = 0
+        self._min = 0.0
+        self._max = 0.0
+        self._rng = Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self._values.append(float(value))
+        """Record one observation (exact aggregates, sampled retention)."""
+        value = float(value)
+        self._count += 1
         self._total += value
-        self._sorted = None
+        if self._count == 1:
+            self._min = value
+            self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        samples = self._samples
+        if len(samples) < self.max_samples:
+            samples.append(value)
+            self._sorted = None
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < len(samples):
+                samples[slot] = value
+                self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        """Exact number of observations (cap-independent)."""
+        return self._count
 
     @property
     def total(self) -> float:
+        """Exact running sum (cap-independent)."""
         return self._total
 
     @property
     def mean(self) -> float:
-        return self._total / len(self._values) if self._values else 0.0
+        """Exact mean (cap-independent)."""
+        return self._total / self._count if self._count else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self._values) if self._values else 0.0
+        """Exact running minimum (cap-independent)."""
+        return self._min
 
     @property
     def maximum(self) -> float:
-        return max(self._values) if self._values else 0.0
+        """Exact running maximum (cap-independent)."""
+        return self._max
+
+    @property
+    def sampled(self) -> bool:
+        """True once percentiles come from a reservoir, not the population."""
+        return self._count > len(self._samples)
 
     def percentile(self, p: float) -> float:
-        """Linearly interpolated percentile, ``p`` in ``[0, 100]``."""
+        """Linearly interpolated percentile, ``p`` in ``[0, 100]``.
+
+        Exact while the population fits in ``max_samples``; computed over
+        the uniform reservoir past the cap (:attr:`sampled` tells which).
+        """
         if not 0.0 <= p <= 100.0:
             raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
-        if not self._values:
+        if not self._samples:
             return 0.0
         if self._sorted is None:
-            self._sorted = sorted(self._values)
+            self._sorted = sorted(self._samples)
         ordered = self._sorted
         position = (len(ordered) - 1) * (p / 100.0)
         lower = int(position)
@@ -208,17 +265,27 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram | Timer] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls: type) -> Counter | Gauge | Histogram | Timer:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name)
-            self._metrics[name] = metric
-        elif type(metric) is not cls:
-            raise ConfigurationError(
-                f"metric {name!r} already registered as {metric.kind}, "
-                f"not {cls.kind}"  # type: ignore[attr-defined]
-            )
+        """Create-or-fetch under the lock (safe against exporter threads).
+
+        Re-requesting an existing name as a *different* metric class is a
+        programming error and raises :class:`ConfigurationError` loudly —
+        returning the existing metric would hand the caller an object
+        whose methods (``inc`` vs ``observe``) silently don't exist.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as a "
+                    f"{metric.kind} ({type(metric).__name__}); it cannot be "
+                    f"re-requested as a {cls.kind} ({cls.__name__})"
+                )
         return metric
 
     def counter(self, name: str) -> Counter:
@@ -251,12 +318,15 @@ class MetricsRegistry:
         raise ConfigurationError(f"metric {name!r} is a {metric.kind}, not a scalar")
 
     def names(self) -> list[str]:
-        """Every registered metric name, sorted."""
-        return sorted(self._metrics)
+        """Every registered metric name, sorted (a stable snapshot)."""
+        with self._lock:
+            return sorted(self._metrics)
 
     def __iter__(self) -> Iterator[Counter | Gauge | Histogram | Timer]:
         for name in self.names():
-            yield self._metrics[name]
+            metric = self._metrics.get(name)
+            if metric is not None:
+                yield metric
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -264,4 +334,15 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, float | dict[str, float]]:
         """Plain-data snapshot: scalars for counters/gauges, summaries for
         histograms and timers (JSON-ready)."""
-        return {name: self._metrics[name].as_value() for name in self.names()}
+        return {metric.name: metric.as_value() for metric in self}
+
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict[str, object]:
+        """Locks don't pickle; the metrics do (checkpointed estimators may
+        carry a recording sink whose registry rides along)."""
+        return {"_metrics": self._metrics}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self._metrics = state["_metrics"]  # type: ignore[assignment]
+        self._lock = threading.Lock()

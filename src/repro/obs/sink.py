@@ -23,6 +23,7 @@ catalogue lives in ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import logging
+import threading
 from typing import NamedTuple, Protocol, runtime_checkable
 
 from repro.obs.registry import MetricsRegistry
@@ -92,20 +93,37 @@ class RecordingSink:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.events: list[ObsEvent] = []
         self._max_events = max_events
+        self._lock = threading.Lock()
 
     def emit(self, name: str, /, **fields: float | str) -> None:
-        """Aggregate one event into the registry and retain it (if room)."""
-        registry = self.registry
-        registry.counter(f"events.{name}").inc()
-        for key, value in fields.items():
-            if isinstance(value, str):
-                registry.counter(f"{name}.{key}.{value}").inc()
+        """Aggregate one event into the registry and retain it (if room).
+
+        Serialised under a lock so an estimator thread and an exporter (or
+        a second emitting thread) can share one sink without interleaving
+        the counter/histogram/raw-list updates of a single event.
+        """
+        with self._lock:
+            registry = self.registry
+            registry.counter(f"events.{name}").inc()
+            for key, value in fields.items():
+                if isinstance(value, str):
+                    registry.counter(f"{name}.{key}.{value}").inc()
+                else:
+                    registry.histogram(f"{name}.{key}").observe(float(value))
+            if len(self.events) < self._max_events:
+                self.events.append(ObsEvent(name, dict(fields)))
             else:
-                registry.histogram(f"{name}.{key}").observe(float(value))
-        if len(self.events) < self._max_events:
-            self.events.append(ObsEvent(name, dict(fields)))
-        else:
-            registry.counter("events.dropped").inc()
+                registry.counter("events.dropped").inc()
+
+    def __getstate__(self) -> dict[str, object]:
+        """Locks don't pickle; a checkpointed estimator's sink does."""
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def count(self, name: str) -> float:
         """Exact number of events emitted under ``name`` (cap-independent)."""

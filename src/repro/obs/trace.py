@@ -1,0 +1,230 @@
+"""Hierarchical span tracing: the flight recorder's timing layer.
+
+A :class:`Span` is one timed section of work with a name, an id, a parent
+id, and a flat attribute mapping; a :class:`Tracer` hands them out as
+context managers, stamps them with :func:`time.perf_counter_ns`, keeps the
+most recent completed spans in a bounded ring buffer (the ``/spans`` HTTP
+endpoint serves exactly that), and exports each finished span through the
+existing :class:`~repro.obs.sink.ObsSink` protocol as a ``span.<name>``
+event carrying ``duration_ns`` plus the span's attributes.  A
+:class:`RecordingSink` therefore aggregates every span family into a
+``span.<name>.duration_ns`` histogram for free — span-derived latency
+percentiles ride the same exposition formats as every other metric.
+
+Parent/child structure follows lexical nesting: the tracer keeps a stack
+of open spans per instance, so ``with tracer.span("a"): with
+tracer.span("b"): ...`` records ``b.parent_id == a.span_id``.  The stack
+is owned by the stream thread (the single-writer model the estimators
+already follow); only the completed-span ring is shared with exporter
+threads and is guarded by a lock.
+
+Overhead discipline mirrors the sink layer: the shared
+:data:`NULL_TRACER` has ``enabled = False`` and returns one preallocated
+no-op span, so an uninstrumented estimator pays an attribute load and a
+cheap context-manager protocol *only at lifecycle edges* (build,
+reallocate, rebuild — code that runs at most a few times per thousand
+tuples); truly per-tuple call sites guard on ``tracer.enabled`` first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.exceptions import ConfigurationError
+from repro.obs.sink import NULL_SINK, ObsSink
+
+
+class Span:
+    """One timed section: name, ids, attributes, and ns timestamps.
+
+    Use as a context manager (the tracer creates these; see
+    :meth:`Tracer.span`).  Attributes set before exit are exported with
+    the span event; :meth:`set` adds them mid-flight::
+
+        with tracer.span("kernel.rebuild", reason="regime") as span:
+            scanned = rebuild()
+            span.set("scanned", scanned)
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "start_ns",
+        "duration_ns",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        name: str,
+        span_id: int,
+        parent_id: int,
+        attributes: dict[str, float | str],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.start_ns = 0
+        self.duration_ns = 0
+
+    def set(self, key: str, value: float | str) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        if exc_type is not None:
+            self.attributes["error"] = getattr(exc_type, "__name__", str(exc_type))
+        self._tracer._finish(self)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready snapshot (what ``/spans`` serves)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """The disabled span: a shared, attribute-dropping context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, key: str, value: float | str) -> None:
+        """Deliberately empty."""
+
+
+#: Shared no-op span handed out by :data:`NULL_TRACER`.
+NOOP_SPAN = _NoopSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every span is the shared no-op span."""
+
+    enabled = False
+
+    def span(self, name: str, /, **attributes: float | str) -> _NoopSpan:
+        """Return the shared no-op span; records nothing."""
+        return NOOP_SPAN
+
+    def recent(self, limit: int | None = None) -> list[dict[str, object]]:
+        """Always empty."""
+        return []
+
+
+#: Shared default instance — estimators fall back to this when constructed
+#: without a tracer, so the disabled path allocates nothing per estimator.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Create, nest, retain, and export :class:`Span` objects.
+
+    Parameters
+    ----------
+    sink:
+        Where finished spans are exported (as ``span.<name>`` events with
+        a ``duration_ns`` field plus the span's attributes).  The default
+        :data:`~repro.obs.sink.NULL_SINK` keeps spans ring-buffer-only.
+    max_spans:
+        Completed-span retention: the ring keeps the newest ``max_spans``
+        spans for the ``/spans`` endpoint and post-hoc inspection.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: ObsSink | None = None, max_spans: int = 512) -> None:
+        if max_spans < 1:
+            raise ConfigurationError(f"max_spans must be >= 1, got {max_spans}")
+        self._sink = sink if sink is not None else NULL_SINK
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._lock = threading.Lock()
+
+    @property
+    def sink(self) -> ObsSink:
+        return self._sink
+
+    def span(self, name: str, /, **attributes: float | str) -> Span:
+        """A new span named ``name``, parented to the innermost open span."""
+        parent_id = self._stack[-1].span_id if self._stack else 0
+        span_id = self._next_id
+        self._next_id += 1
+        return Span(self, name, span_id, parent_id, attributes)
+
+    # ------------------------------------------------- span lifecycle hooks
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # out-of-order exit: drop it wherever it sits
+            stack.remove(span)
+        with self._lock:
+            self._spans.append(span)
+        sink = self._sink
+        if sink.enabled:
+            fields: dict[str, float | str] = {"duration_ns": float(span.duration_ns)}
+            for key, value in span.attributes.items():
+                fields[key] = value if isinstance(value, str) else float(value)
+            sink.emit(f"span.{span.name}", **fields)
+
+    # ----------------------------------------------------------- inspection
+
+    def recent(self, limit: int | None = None) -> list[dict[str, object]]:
+        """The newest completed spans, oldest first, as JSON-ready dicts."""
+        with self._lock:
+            spans = list(self._spans)
+        if limit is not None:
+            spans = spans[-limit:]
+        return [span.as_dict() for span in spans]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict[str, object]:
+        """Drop the lock and the retained spans (process-local diagnostics).
+
+        Estimators carrying a tracer ride through the checkpoint layer;
+        the ring buffer is a live-inspection aid, not stream state, so a
+        restored tracer starts with an empty ring (ids keep counting).
+        """
+        state = {slot: getattr(self, slot) for slot in ("_sink", "_next_id")}
+        state["_max_spans"] = self._spans.maxlen
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self._sink = state["_sink"]  # type: ignore[assignment]
+        self._next_id = state["_next_id"]  # type: ignore[assignment]
+        self._spans = deque(maxlen=state["_max_spans"])  # type: ignore[arg-type]
+        self._stack = []
+        self._lock = threading.Lock()

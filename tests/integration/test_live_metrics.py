@@ -1,0 +1,119 @@
+"""Live-scrape integration: a real CLI run served and scraped mid-stream.
+
+Starts ``python -m repro run F4 --serve-metrics 0`` as a subprocess, parses
+the bound port from the serve line, and polls ``/metrics`` while the replay
+is still running — asserting the scrape is well-formed Prometheus text and
+carries the auditor's error gauges plus span-derived latency summaries.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SERVE_LINE = re.compile(r"serving metrics on http://127\.0\.0\.1:(\d+)/metrics")
+
+#: A metric line: name{labels} value  (or bare name value).
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"
+)
+
+
+def _spawn(*args: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _scrape_until(url: str, needles: tuple[str, ...], deadline: float) -> str:
+    """Poll ``url`` until every needle appears (or the deadline passes)."""
+    last = ""
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=2.0) as response:
+                last = response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.05)
+            continue
+        if all(needle in last for needle in needles):
+            return last
+        time.sleep(0.05)
+    return last
+
+
+class TestLiveScrape:
+    @pytest.fixture()
+    def live_run(self):
+        # Big enough that the replay is still running when we scrape.
+        proc = _spawn("run", "F4", "--size", "8000", "--serve-metrics", "0",
+                      "--audit-every", "50", "--audit-budget", "0.5")
+        try:
+            line = proc.stdout.readline()
+            match = SERVE_LINE.search(line)
+            assert match, f"no serve line in {line!r}"
+            yield proc, int(match.group(1))
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_mid_stream_scrape(self, live_run):
+        proc, port = live_run
+        url = f"http://127.0.0.1:{port}/metrics"
+        text = _scrape_until(
+            url,
+            needles=(
+                "repro_audit_relative_error",
+                "repro_span_kernel_answer_duration_ns",
+                "repro_span_eval_replay_duration_ns",
+            ),
+            deadline=time.monotonic() + 90.0,
+        )
+        assert proc.poll() is None, (
+            f"run finished before the scrape; captured: {text[:200]!r}"
+        )
+        assert "repro_audit_relative_error" in text
+        assert "repro_span_kernel_answer_duration_ns" in text
+        # audit.* gauges carry the run's labels
+        assert re.search(
+            r'repro_audit_relative_error\{[^}]*method="[^"]+"[^}]*\} ', text
+        )
+        # every non-comment line is a well-formed Prometheus sample
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+
+    def test_healthz_and_spans_live(self, live_run):
+        import json
+
+        proc, port = live_run
+        base = f"http://127.0.0.1:{port}"
+        deadline = time.monotonic() + 90.0
+        spans: list = []
+        while time.monotonic() < deadline and not spans:
+            try:
+                with urllib.request.urlopen(f"{base}/spans", timeout=2.0) as r:
+                    spans = json.loads(r.read())["spans"]
+            except (urllib.error.URLError, OSError):
+                time.sleep(0.05)
+        assert spans, "no spans surfaced during the run"
+        assert {"name", "span_id", "parent_id", "duration_ns", "labels"} <= set(
+            spans[-1]
+        )
+        with urllib.request.urlopen(f"{base}/healthz", timeout=2.0) as r:
+            health = json.loads(r.read())
+        assert health["status"] == "ok"
+        assert health["registries"] >= 1

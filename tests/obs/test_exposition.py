@@ -1,0 +1,98 @@
+"""Prometheus exposition edge cases: escaping, specials, golden scrape."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.obs.exposition import render_prometheus
+from repro.obs.http import LiveExportHub, MetricsServer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import RecordingSink
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        text = render_prometheus(
+            registry, labels={"path": 'C:\\tmp\\"x"\nnext'}
+        )
+        assert r'path="C:\\tmp\\\"x\"\nnext"' in text
+
+    def test_label_names_folded_to_valid_charset(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        text = render_prometheus(registry, labels={"data-set": "USAGE"})
+        assert 'data_set="USAGE"' in text
+
+    def test_plain_labels_untouched(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        assert 'method="exact"' in render_prometheus(
+            registry, labels={"method": "exact"}
+        )
+
+
+class TestSpecialValues:
+    def test_nan_and_infinities(self):
+        registry = MetricsRegistry()
+        registry.gauge("nan").set(math.nan)
+        registry.gauge("pos").set(math.inf)
+        registry.gauge("neg").set(-math.inf)
+        text = render_prometheus(registry)
+        assert "repro_nan NaN" in text
+        assert "repro_pos +Inf" in text
+        assert "repro_neg -Inf" in text
+
+    def test_histogram_with_nan_observation(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(math.nan)
+        text = render_prometheus(registry)
+        assert "repro_h_sum NaN" in text
+        assert "repro_h_count 1" in text
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert LiveExportHub().render_prometheus() == ""
+
+
+class TestGoldenScrape:
+    """A deterministic registry scraped over HTTP must match the golden file."""
+
+    @staticmethod
+    def _seeded_sink() -> RecordingSink:
+        sink = RecordingSink()
+        sink.emit("hist.build", buckets=10.0, low=0.0, high=100.0)
+        sink.emit("region.shift", drift=2.5, low=1.0, high=99.0, disjoint=0.0)
+        sink.emit("window.expire", count=1.0, side="L")
+        registry = sink.registry
+        registry.gauge("audit.relative_error").set(0.125)
+        registry.gauge("state.buckets").set(10)
+        for value in (100.0, 200.0, 400.0, 800.0):
+            registry.histogram("span.kernel.answer.duration_ns").observe(value)
+        return sink
+
+    def _scrape(self) -> str:
+        hub = LiveExportHub()
+        hub.attach({"method": "piecemeal-uniform"}, sink=self._seeded_sink())
+        with MetricsServer(hub) as server:
+            import urllib.request
+
+            with urllib.request.urlopen(
+                f"{server.url}/metrics", timeout=5.0
+            ) as response:
+                return response.read().decode("utf-8")
+
+    def test_scrape_matches_golden_file(self):
+        assert self._scrape() == GOLDEN.read_text()
+
+    def test_golden_is_wellformed_prometheus(self):
+        for line in GOLDEN.read_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_and_labels, _, value = line.rpartition(" ")
+            assert name_and_labels
+            float(value)  # every sample value parses (NaN/inf included)

@@ -1,0 +1,134 @@
+"""The scrapeable HTTP surface: hub semantics and live endpoints."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.http import (
+    PROMETHEUS_CONTENT_TYPE,
+    LiveExportHub,
+    MetricsServer,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import RecordingSink
+from repro.obs.trace import Tracer
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+class TestLiveExportHub:
+    def test_renders_every_registry_with_labels(self):
+        hub = LiveExportHub()
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("events.realloc").inc(3)
+        b.gauge("state.buckets").set(7)
+        hub.add_registry({"method": "a"}, a)
+        hub.add_registry({"method": "b"}, b)
+        text = hub.render_prometheus()
+        assert 'repro_events_realloc_total{method="a"} 3' in text
+        assert 'repro_state_buckets{method="b"} 7' in text
+
+    def test_equal_labels_replace(self):
+        hub = LiveExportHub()
+        old, new = MetricsRegistry(), MetricsRegistry()
+        old.counter("runs").inc(1)
+        new.counter("runs").inc(2)
+        hub.add_registry({"method": "x"}, old)
+        hub.add_registry({"method": "x"}, new)
+        text = hub.render_prometheus()
+        assert text.count("repro_runs_total") == 2  # one TYPE line, one sample
+        assert 'repro_runs_total{method="x"} 2' in text
+
+    def test_attach_and_merged_spans(self):
+        hub = LiveExportHub()
+        sink = RecordingSink()
+        tracer = Tracer(sink)
+        with tracer.span("kernel.build"):
+            pass
+        hub.attach({"method": "x"}, sink=sink, tracer=tracer)
+        spans = hub.spans()
+        assert spans[-1]["name"] == "kernel.build"
+        assert spans[-1]["labels"] == {"method": "x"}
+        assert hub.health()["registries"] == 1
+        assert hub.health()["tracers"] == 1
+
+
+class TestMetricsServer:
+    @pytest.fixture()
+    def serving(self):
+        hub = LiveExportHub()
+        sink = RecordingSink()
+        tracer = Tracer(sink)
+        sink.registry.gauge("audit.relative_error").set(0.25)
+        with tracer.span("kernel.answer"):
+            pass
+        hub.attach({"method": "demo"}, sink=sink, tracer=tracer)
+        server = MetricsServer(hub)
+        with server:
+            yield server
+
+    def test_port_zero_binds_ephemeral(self, serving):
+        assert serving.port > 0
+        assert serving.url == f"http://127.0.0.1:{serving.port}"
+
+    def test_metrics_endpoint(self, serving):
+        status, content_type, body = _get(f"{serving.url}/metrics")
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert 'repro_audit_relative_error{method="demo"} 0.25' in text
+        assert "repro_span_kernel_answer_duration_ns" in text
+
+    def test_healthz_endpoint(self, serving):
+        status, content_type, body = _get(f"{serving.url}/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["registries"] == 1
+
+    def test_spans_endpoint(self, serving):
+        status, _, body = _get(f"{serving.url}/spans")
+        assert status == 200
+        spans = json.loads(body)["spans"]
+        assert spans[-1]["name"] == "kernel.answer"
+
+    def test_unknown_path_is_404(self, serving):
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{serving.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_scrape_sees_live_updates(self, serving):
+        _, _, before = _get(f"{serving.url}/metrics")
+        serving.hub._registries[0][1].gauge("audit.relative_error").set(0.5)
+        _, _, after = _get(f"{serving.url}/metrics")
+        assert b"0.25" in before
+        assert b"0.5" in after
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(LiveExportHub())
+        server.start()
+        server.stop()
+        server.stop()
+
+    def test_double_start_rejected(self):
+        server = MetricsServer(LiveExportHub())
+        try:
+            server.start()
+            with pytest.raises(ConfigurationError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_port_validation(self):
+        with pytest.raises(ConfigurationError):
+            MetricsServer(LiveExportHub(), port=70000)

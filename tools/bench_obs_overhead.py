@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Measure what the flight recorder costs when it is off — and when it is on.
+
+Three variants of the same streaming workload, timed in-process:
+
+* ``floor``    — ``FocusedEstimatorBase.update`` temporarily swapped for the
+                 pre-instrumentation body (no ``tracer.enabled`` branch at
+                 all).  This is the old per-tuple hot path, reconstructed.
+* ``disabled`` — the shipped code with no sink and no tracer (``NULL_TRACER``
+                 guard taken every tuple).  The acceptance bar: at most 5%
+                 slower than ``floor``.
+* ``enabled``  — a ``RecordingSink`` + ``Tracer`` attached, so every tuple
+                 opens a ``kernel.answer`` span and every lifecycle edge
+                 exports.  This records the real price of turning tracing on.
+
+The floor is installed by patching the base-class method, not by splicing a
+dynamic subclass onto the instance: reassigning ``__class__`` un-shares the
+instance's shared-key dict and deoptimizes every attribute load, which makes
+the floor look ~20% slower than it ever was.  Each patch toggle invalidates
+CPython's per-type caches, so every block re-warms with one untimed round
+before measuring; blocks interleave so clock drift lands evenly.
+
+Writes ``benchmarks/BENCH_obs_overhead.json``.  Exits non-zero if the
+disabled-path regression exceeds the budget, so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_obs_overhead.py [--rounds N] [--size N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.engine import build_estimator  # noqa: E402
+from repro.core.focused import FocusedEstimatorBase  # noqa: E402
+from repro.core.query import CorrelatedQuery  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.obs.sink import RecordingSink  # noqa: E402
+from repro.obs.trace import Tracer  # noqa: E402
+from repro.streams.model import ensure_finite  # noqa: E402
+
+REPO = Path(__file__).resolve().parents[1]
+OUTPUT = REPO / "benchmarks" / "BENCH_obs_overhead.json"
+
+#: Disabled-path budget: the NULL_TRACER guard may cost at most this much.
+BUDGET = 1.05
+
+#: Timed rounds per contiguous block of one variant.
+BLOCK = 5
+
+WORKLOADS = {
+    "landmark-min": CorrelatedQuery("count", "min", epsilon=99.0),
+    "sliding-min": CorrelatedQuery("count", "min", epsilon=99.0, window=500),
+}
+
+SHIPPED_UPDATE = FocusedEstimatorBase.update
+
+
+def _floor_update(self, record):
+    """``FocusedEstimatorBase.update`` as it was before span tracing landed."""
+    ensure_finite(record)
+    carrier = self._ingest(record)
+    if self._buffer is not None:
+        self._warmup_step(record)
+    else:
+        self._step(record, carrier)
+    return self.estimate()
+
+
+def _build(query, records, variant: str):
+    kwargs: dict[str, object] = {"num_buckets": 10, "stream": records}
+    if variant == "enabled":
+        sink = RecordingSink()
+        kwargs["sink"] = sink
+        kwargs["tracer"] = Tracer(sink)
+    return build_estimator(query, "piecemeal-uniform", **kwargs)
+
+
+def _one_round(query, records, variant: str) -> float:
+    estimator = _build(query, records, variant)
+    update = estimator.update
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for record in records:
+            update(record)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def _block(query, records, variant: str, rounds: int) -> list[float]:
+    if variant == "floor":
+        FocusedEstimatorBase.update = _floor_update
+    try:
+        _one_round(query, records, variant)  # re-specialize after the toggle
+        return [_one_round(query, records, variant) for _ in range(rounds)]
+    finally:
+        FocusedEstimatorBase.update = SHIPPED_UPDATE
+
+
+def _time_workload(
+    query, records, variants: tuple[str, ...], rounds: int
+) -> dict[str, dict[str, float]]:
+    samples: dict[str, list[float]] = {v: [] for v in variants}
+    for variant in variants:  # first full block per variant is warmup
+        _block(query, records, variant, 1)
+    while min(len(s) for s in samples.values()) < rounds:
+        for variant in variants:
+            samples[variant].extend(_block(query, records, variant, BLOCK))
+    return {
+        variant: {
+            "min": min(times),
+            "median": statistics.median(times),
+            "mean": statistics.fmean(times),
+            "stddev": statistics.stdev(times) if len(times) > 1 else 0.0,
+            "rounds": len(times),
+            "tuples_per_second": len(records) / statistics.median(times),
+        }
+        for variant, times in samples.items()
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=30)
+    parser.add_argument("--size", type=int, default=2_000)
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    records = load_dataset("USAGE", size=args.size)
+    report: dict[str, object] = {
+        "benchmark": "tools/bench_obs_overhead.py",
+        "description": (
+            "Per-tuple cost of the observability layer on the focused-histogram "
+            "hot path: pre-instrumentation floor vs. shipped code with tracing "
+            "disabled (the NULL_TRACER guard) vs. fully enabled (RecordingSink "
+            "+ Tracer, kernel.answer span per tuple)."
+        ),
+        "command": f"PYTHONPATH=src python tools/bench_obs_overhead.py "
+        f"--rounds {args.rounds} --size {args.size}",
+        "acceptance_criterion": (
+            f"disabled/floor median ratio <= {BUDGET} on every workload"
+        ),
+        "workloads": {},
+    }
+
+    ok = True
+    for name, query in WORKLOADS.items():
+        timings = _time_workload(
+            query, records, ("floor", "disabled", "enabled"), args.rounds
+        )
+        # Medians over interleaved blocks: robust to drift in either direction
+        # where best-of-round still jitters by more than the effect size.
+        disabled_ratio = timings["disabled"]["median"] / timings["floor"]["median"]
+        enabled_ratio = timings["enabled"]["median"] / timings["floor"]["median"]
+        within = disabled_ratio <= BUDGET
+        ok = ok and within
+        report["workloads"][name] = {  # type: ignore[index]
+            "query": query.describe(),
+            "tuples_per_round": len(records),
+            "results_seconds": timings,
+            "overhead": {
+                "disabled_over_floor": round(disabled_ratio, 4),
+                "enabled_over_floor": round(enabled_ratio, 4),
+                "within_budget": within,
+            },
+        }
+        print(
+            f"{name:>14}: disabled {disabled_ratio:.3f}x floor "
+            f"(budget {BUDGET}x, {'ok' if within else 'FAIL'}), "
+            f"enabled {enabled_ratio:.3f}x floor"
+        )
+
+    report["within_budget"] = ok
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
