@@ -32,6 +32,12 @@ from repro.obs.http import LiveExportHub, MetricsServer
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sink import NULL_SINK, LoggingSink, NullSink, ObsSink, RecordingSink
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.parallel import (
+    PARTITION_POLICIES,
+    MergeableSummary,
+    ShardedIngestor,
+    merge_all,
+)
 from repro.streams.model import Record, materialize, profile_stream, run_stream
 
 __version__ = "1.0.0"
@@ -61,5 +67,9 @@ __all__ = [
     "AccuracyAuditor",
     "LiveExportHub",
     "MetricsServer",
+    "MergeableSummary",
+    "ShardedIngestor",
+    "merge_all",
+    "PARTITION_POLICIES",
     "__version__",
 ]

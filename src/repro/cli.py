@@ -145,9 +145,41 @@ def _serve_context(args: argparse.Namespace):
     return server, hub.attach
 
 
+def _check_shard_exclusions(args: argparse.Namespace, checkpointing: bool = False) -> None:
+    """The flag combinations sharding cannot honour, with explicit reasons."""
+    if checkpointing:
+        raise ConfigurationError(
+            "--shards and --resume-from/--checkpoint-every are mutually "
+            "exclusive (checkpointing is per-coordinator: worker state "
+            "lives in other processes; see docs/PARALLEL.md)"
+        )
+    if args.serve_metrics is not None or args.audit_every is not None or (
+        args.audit_budget is not None
+    ):
+        raise ConfigurationError(
+            "--shards and --serve-metrics/--audit-every are mutually "
+            "exclusive (per-update auditing needs the single-process "
+            "update sequence)"
+        )
+    if args.batch_size:
+        raise ConfigurationError(
+            "--shards and --batch-size are mutually exclusive (the sharded "
+            "path already ships records in chunks; tune with internal "
+            "chunking, not --batch-size)"
+        )
+    if getattr(args, "time_window", None) is not None:
+        raise ConfigurationError(
+            "--shards and --time-window are mutually exclusive (a time "
+            "window is a sliding scope, which partitioning destroys)"
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     methods = args.methods.split(",") if args.methods else None
     checkpointing = args.checkpoint_every is not None or args.resume_from is not None
+    if args.shards is not None:
+        _check_shard_exclusions(args, checkpointing)
+        return _run_sharded(args, methods)
     serving = args.serve_metrics is not None
     audit_every = args.audit_every
     if serving and audit_every is None:
@@ -230,6 +262,107 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sharded(args: argparse.Namespace, methods: list[str] | None) -> int:
+    """``run --shards N``: replay each landmark panel through ShardedIngestor."""
+    import time
+
+    from repro.core.engine import FOCUSED_METHODS
+    from repro.parallel import ShardedIngestor
+
+    spec = EXPERIMENTS[args.experiment]
+    chosen = methods or [m for m in spec.methods() if m in FOCUSED_METHODS]
+    print(f"{spec.figure}: {spec.description}")
+    print(f"sharded: {args.shards} workers, {args.partition} partitioning\n")
+    for panel in spec.panels:
+        title = f"[{panel.dataset}] {panel.query.describe()} (order={panel.ordering})"
+        if panel.query.is_sliding:
+            print(f"{title}: skipped (sliding windows are not shardable)\n")
+            continue
+        records = panel.load(size=args.size)
+        exact_final = exact_series(records, panel.query)[-1]
+        rows = []
+        for method in chosen:
+            started = time.perf_counter()
+            with ShardedIngestor(
+                panel.query,
+                method,
+                num_buckets=args.buckets or spec.num_buckets,
+                shards=args.shards,
+                partition=args.partition,
+            ) as ingestor:
+                ingestor.ingest(records)
+                estimate = ingestor.query()
+            elapsed = time.perf_counter() - started
+            bound = ingestor.merge_error_bound()
+            relative = abs(estimate - exact_final) / max(abs(exact_final), 1e-12)
+            rows.append(
+                [
+                    method,
+                    f"{estimate:.6g}",
+                    f"{exact_final:.6g}",
+                    f"{relative:.4f}",
+                    "n/a" if bound is None else f"{bound:.4g}",
+                    f"{len(records) / max(elapsed, 1e-9):,.0f}",
+                ]
+            )
+        print(title)
+        print(
+            format_table(
+                ["method", "merged", "exact final", "rel err", "merge bound", "tuples/s"],
+                rows,
+            )
+        )
+        print()
+    return 0
+
+
+def _estimate_sharded(args: argparse.Namespace, query, records, method: str) -> int:
+    """``estimate --shards N``: sharded ingest, merged answer vs the oracle."""
+    import time
+
+    from repro.parallel import ShardedIngestor
+
+    sink = RecordingSink() if args.metrics else None
+    started = time.perf_counter()
+    with ShardedIngestor(
+        query,
+        method,
+        num_buckets=args.buckets,
+        shards=args.shards,
+        partition=args.partition,
+        sink=sink,
+    ) as ingestor:
+        ingestor.ingest(records)
+        merged = ingestor.merged_estimator()
+        state = ingestor.obs_state()
+    elapsed = time.perf_counter() - started
+    estimate = merged.estimate()
+    exact_final = exact_series(records, query)[-1]
+    bound = ingestor.merge_error_bound()
+
+    print(f"query  : {query.describe()}")
+    print(f"stream : {args.dataset}, {len(records)} tuples")
+    print(f"sharded: {args.shards} workers, {args.partition} partitioning\n")
+    print(f"method : {method} (m={args.buckets})")
+    print(f"merged estimate : {estimate:.6g}")
+    print(f"exact answer    : {exact_final:.6g}")
+    relative = abs(estimate - exact_final) / max(abs(exact_final), 1e-12)
+    print(f"relative error  : {relative:.4f}")
+    if bound is not None:
+        print(f"merge bound     : {bound:.4g} (re-poured mass, conservative)")
+    per_shard = [
+        int(state[key])
+        for key in sorted(k for k in state if k.startswith("shard."))
+    ]
+    print(f"per-shard records: {per_shard}")
+    print(f"throughput      : {len(records) / max(elapsed, 1e-9):,.0f} tuples/s "
+          f"(ingest+merge wall {elapsed:.3f}s)")
+    if sink is not None:
+        print()
+        print(format_metrics_table(sink.registry))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     methods = args.methods.split(",") if args.methods else None
     panels = run_experiment(
@@ -266,6 +399,9 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         )
     records = load_dataset(args.dataset, size=args.size)
     method = args.method or methods_for_query(query)[2]  # piecemeal-uniform
+    if args.shards is not None:
+        _check_shard_exclusions(args)
+        return _estimate_sharded(args, query, records, method)
     serving = args.serve_metrics is not None
     audit_every = args.audit_every
     if serving and audit_every is None:
@@ -344,6 +480,27 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             print()
             print(format_metrics_table(sink.registry))
     return 0
+
+
+def _add_shard_flags(sub: argparse.ArgumentParser) -> None:
+    """The sharded-ingestion flags shared by ``run`` and ``estimate``."""
+    sub.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition the stream across N worker processes and merge "
+        "per-shard summaries at query time (landmark queries, focused "
+        "methods only)",
+    )
+    # Deliberately not argparse choices: the library validates with a
+    # did-you-mean ConfigurationError, same as every other option.
+    sub.add_argument(
+        "--partition",
+        default="round-robin",
+        metavar="POLICY",
+        help="shard assignment policy: round-robin (default), hash, range",
+    )
 
 
 def _add_serve_flags(sub: argparse.ArgumentParser) -> None:
@@ -444,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
         "directory and replay only the gap",
     )
     _add_serve_flags(run)
+    _add_shard_flags(run)
     run.set_defaults(handler=_cmd_run)
 
     stats = sub.add_parser(
@@ -503,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="metrics_format",
     )
     _add_serve_flags(est)
+    _add_shard_flags(est)
     est.set_defaults(handler=_cmd_estimate)
 
     return parser

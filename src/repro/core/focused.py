@@ -51,13 +51,14 @@ recorded before the merge and fails on any drift, down to the last bit.
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Iterable
 
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
 from repro.histograms.bucket import ZERO_MASS, BucketArray, Mass
 from repro.histograms.maintenance import merge_split_swap
-from repro.histograms.mass import band_bounds, band_mass, pour_uniform
+from repro.histograms.mass import band_bounds, band_mass, pour_uniform, span_is_exact
 from repro.histograms.partition import uniform_boundaries
 from repro.histograms.reallocate import (
     POLICIES,
@@ -127,6 +128,9 @@ class FocusedEstimatorBase:
         self._inner: BucketArray | None = None
         self._adds_since_swap = 0
         self._steps_since_rebuild = 0
+        # Count/weight mass whose placement relied on the uniformity
+        # assumption during summary merges (MergeableSummary accounting).
+        self._merge_slack = ZERO_MASS
 
     # ----------------------------------------------------------- plumbing
 
@@ -336,6 +340,89 @@ class FocusedEstimatorBase:
         for record in records[start:] if start else records:
             append(update(record))
 
+    # ------------------------------------------------------------ merging
+
+    def merge_from(self, other: "FocusedEstimatorBase") -> None:
+        """Absorb ``other``'s summary so this estimator answers for both streams.
+
+        The MergeableSummary entry point used by the sharded-ingestion
+        coordinator: both estimators must be the same class over equal
+        queries, built over *disjoint* substreams.  Dispatch:
+
+        * ``other`` still warming up — its buffer holds its whole retained
+          population, so replaying it through :meth:`update` is exact;
+        * ``self`` warming, ``other`` steady — adopt a deep copy of
+          ``other``'s summary state and replay our own buffered tuples
+          into it (exact; the adopted copy keeps ``other``'s strategy/
+          policy options);
+        * both steady — the subclass :meth:`_merge_steady` hook combines
+          the summaries, accumulating uniformity slack into
+          :meth:`merge_error_bound`.
+
+        Sliding-scope estimators are not mergeable (partitioning a stream
+        across shards destroys the arrival order a window is defined
+        over) and raise :class:`~repro.exceptions.ConfigurationError`.
+        """
+        if self._timestamped or getattr(other, "_timestamped", False):
+            raise ConfigurationError(
+                "time-sliding estimators are not mergeable: the window is "
+                "defined over a single arrival order"
+            )
+        if type(other) is not type(self):
+            raise ConfigurationError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if other._query != self._query:
+            raise ConfigurationError(
+                "cannot merge estimators over different queries: "
+                f"{self._query.describe()!r} vs {other._query.describe()!r}"
+            )
+        with self._tracer.span("kernel.merge"):
+            if other._buffer is not None:
+                for record in other._buffer:
+                    self.update(record)
+                self._merge_slack += other._merge_slack
+            elif self._buffer is not None:
+                pending = list(self._buffer)
+                adopted = copy.deepcopy(other)
+                for name, value in adopted.__dict__.items():
+                    if name not in ("_obs", "_tracer"):
+                        setattr(self, name, value)
+                for record in pending:
+                    self.update(record)
+            else:
+                self._merge_steady(other)
+        if self._obs.enabled:
+            self._obs.emit(
+                "summary.merge",
+                slack_count=self._merge_slack.count,
+                slack_weight=self._merge_slack.weight,
+            )
+
+    def _merge_steady(self, other: "FocusedEstimatorBase") -> None:
+        """Combine two steady-state summaries (subclass hook)."""
+        raise ConfigurationError(
+            f"{type(self).__name__} summaries are not mergeable"
+        )
+
+    def merge_error_bound(self) -> float:
+        """Mass placed under the uniformity assumption across all merges.
+
+        In output units: qualifying count for COUNT dependents, qualifying
+        weight for SUM.  Zero for an estimator that was never merged (or
+        whose merges happened to land every span at tuple resolution).
+        AVG dependents are rejected — a ratio of bounds does not bound a
+        ratio, mirroring :meth:`estimate_bounds`.
+        """
+        if self._query.dependent == "avg":
+            raise ConfigurationError(
+                "merge_error_bound is undefined for AVG dependents "
+                "(a ratio of bounds does not bound a ratio)"
+            )
+        if self._query.dependent == "count":
+            return self._merge_slack.count
+        return self._merge_slack.weight
+
     # ------------------------------------------------------------- answers
 
     def estimate(self) -> float:
@@ -543,6 +630,53 @@ class TwoTailSummaryMixin:
             pour_uniform(new_inner, old_hi, hi, share)
 
         self._inner = new_inner
+
+    # ------------------------------------------------------------ merging
+
+    def _merge_pour(self, lo: float, hi: float, mass: Mass, coarse: bool = False) -> Mass:
+        """Split a foreign span's mass across the three regions pro-rata.
+
+        The merge primitive for two-tail summaries: ``mass`` summarises
+        tuples spread over ``[lo, hi]`` in another estimator; its overlap
+        with each of our regions receives the matching share (local
+        uniformity), with the inner share poured across the fine buckets.
+
+        Returns the slack — ``ZERO_MASS`` when the placement loses no
+        resolution (a point mass; a span inside a single fine bucket; or,
+        for ``coarse`` sources that were already scalar tail mass, a span
+        landing whole inside one of our tails), else the whole ``mass``.
+        Fine-bucket mass poured into a tail *is* slack: its position
+        coarsens, and a later reallocation can only pull it back out
+        under the uniformity assumption.
+        """
+        assert self._inner is not None
+        if mass.count == 0.0 and mass.weight == 0.0:
+            return ZERO_MASS
+        ilo, ihi = self._inner.low, self._inner.high
+        span = hi - lo
+        if span <= 0.0:
+            side = self._classify(lo)
+            if side == "L":
+                self._left_tail += mass
+            elif side == "R":
+                self._right_tail += mass
+            else:
+                self._inner.add_mass(self._inner.locate(lo), mass)
+            return ZERO_MASS
+        left = max(0.0, min(hi, ilo) - lo) / span
+        right = max(0.0, hi - max(lo, ihi)) / span
+        inner_share = max(0.0, 1.0 - left - right)
+        if left > 0.0:
+            self._left_tail += mass.scaled(left)
+        if right > 0.0:
+            self._right_tail += mass.scaled(right)
+        if inner_share > 0.0:
+            pour_uniform(self._inner, max(lo, ilo), min(hi, ihi), mass.scaled(inner_share))
+        if coarse and (left >= 1.0 or right >= 1.0):
+            return ZERO_MASS
+        if inner_share >= 1.0 and span_is_exact(self._inner, lo, hi):
+            return ZERO_MASS
+        return mass
 
     # --------------------------------------------------------- CLT targeting
 

@@ -163,3 +163,30 @@ class LandmarkAvgEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
         # disjointness (possible with very narrow focus intervals) forces
         # the wholesale path.
         return hi <= old_lo or lo >= old_hi
+
+    def _merge_steady(self, other: "LandmarkAvgEstimator") -> None:
+        """Fold another landmark-AVG summary into this one.
+
+        Moments merge exactly (parallel Welford), which also widens our
+        tail spans to cover the union's extrema; then each of ``other``'s
+        regions — left tail span, every fine bucket, right tail span — is
+        re-poured across our three regions pro-rata.  Count, weight, mean
+        and extrema are preserved exactly; per-band placement of the
+        re-poured mass accumulates into ``merge_error_bound``.
+        """
+        assert self._inner is not None and other._inner is not None
+        o_xmin, o_xmax = other._span()
+        self._moments.merge_from(other._moments)
+        slack = self._merge_pour(o_xmin, other._inner.low, other._left_tail, coarse=True)
+        edges = other._inner.edges
+        for i, (left, right) in enumerate(zip(edges, edges[1:])):
+            slack += self._merge_pour(left, right, other._inner.bucket_mass(i))
+        slack += self._merge_pour(other._inner.high, o_xmax, other._right_tail, coarse=True)
+        self._merge_slack = self._merge_slack + slack + other._merge_slack
+        # The merged moments moved the CLT target (possibly far, under
+        # range partitioning); retarget now so queries against the merged
+        # summary truncate inside fine buckets, as they would have after
+        # one more single-process step.
+        lo, hi = self._target_interval()
+        if self._should_reallocate(lo, hi):
+            self._reallocate(lo, hi)

@@ -38,7 +38,8 @@ from bisect import bisect_right
 from repro.core.focused import STRATEGIES, FocusedEstimatorBase
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
-from repro.histograms.bucket import BucketArray
+from repro.histograms.bucket import ZERO_MASS, BucketArray
+from repro.histograms.mass import pour_uniform, span_is_exact
 from repro.histograms.partition import (
     quantile_boundaries_from_values,
     uniform_boundaries,
@@ -309,6 +310,41 @@ class LandmarkExtremaEstimator(FocusedEstimatorBase):
                 c = sum(counts)
                 w = sum(weights)
                 append((w if w >= 0.0 else 0.0) / c if c > 0.0 else 0.0)
+
+    # ------------------------------------------------------------- merging
+
+    def _merge_steady(self, other: "LandmarkExtremaEstimator") -> None:
+        """Fold another landmark-extrema summary into this one.
+
+        The merged extremum is exact (min/max distribute over the
+        partition), so first adopt ``other``'s extremum if it is better —
+        the usual region shift, truncating our own mass that can no
+        longer qualify.  Then each of ``other``'s buckets keeps only its
+        overlap with the merged region ``[a, b]`` (pro-rata; the rest is
+        discarded forever by monotonicity, exactly as a region shift
+        discards it) and is poured into our buckets.  Pours that needed
+        the uniformity assumption accumulate into ``merge_error_bound``.
+        """
+        assert self._inner is not None and other._inner is not None
+        assert other._extremum is not None
+        if self._is_new_extremum(other._extremum):
+            self._shift_region(other._extremum)
+        assert self._region is not None
+        low, high = self._region
+        slack = ZERO_MASS
+        edges = other._inner.edges
+        for i, (left, right) in enumerate(zip(edges, edges[1:])):
+            mass = other._inner.bucket_mass(i)
+            if mass.count == 0.0 and mass.weight == 0.0:
+                continue
+            ov_lo, ov_hi = max(left, low), min(right, high)
+            if ov_hi <= ov_lo:
+                continue  # wholly outside the merged region: never qualifies
+            kept = mass.scaled((ov_hi - ov_lo) / (right - left))
+            if not (ov_lo == left and ov_hi == right and span_is_exact(self._inner, left, right)):
+                slack += kept
+            pour_uniform(self._inner, ov_lo, ov_hi, kept)
+        self._merge_slack = self._merge_slack + slack + other._merge_slack
 
     # -------------------------------------------------------------- answer
 

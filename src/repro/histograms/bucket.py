@@ -79,6 +79,7 @@ class BucketArray:
         k = len(edge_list) - 1
         self._counts = [0.0] * k if counts is None else [float(c) for c in counts]
         self._weights = [0.0] * k if weights is None else [float(w) for w in weights]
+        self._merge_slack = 0.0
         if len(self._counts) != k or len(self._weights) != k:
             raise ConfigurationError(
                 f"counts/weights must have {k} entries, got "
@@ -321,6 +322,29 @@ class BucketArray:
     def heaviest_bucket(self) -> int:
         """Index of the bucket with the largest count (ties: lowest index)."""
         return self._counts.index(max(self._counts))
+
+    # -- MergeableSummary protocol -------------------------------------
+    def merge_from(self, other: "BucketArray") -> None:
+        """Absorb ``other``'s mass by re-pouring it across these buckets.
+
+        Boundaries of ``self`` are unchanged; each of ``other``'s buckets
+        is spread over its span pro-rata (local uniformity), clamping
+        spans outside this array's range into the boundary buckets.
+        Total mass is conserved exactly; placements that needed the
+        uniformity assumption accumulate into :meth:`merge_error_bound`.
+        """
+        from repro.histograms.mass import pour_histogram
+
+        slack = pour_histogram(self, other)
+        self._merge_slack = (
+            getattr(self, "_merge_slack", 0.0)
+            + slack.count
+            + getattr(other, "_merge_slack", 0.0)
+        )
+
+    def merge_error_bound(self) -> float:
+        """Count-mass whose placement relied on uniformity during merges."""
+        return getattr(self, "_merge_slack", 0.0)
 
     def copy(self) -> "BucketArray":
         """An independent deep copy."""

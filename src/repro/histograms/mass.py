@@ -13,6 +13,10 @@ queries against that shape:
 * :func:`pour_uniform` — spread tail mass back into fine buckets under
   the same local-uniformity assumption, used when a reallocation grows
   the focus region into a tail.
+* :func:`pour_histogram` — re-pour one bucket array's mass into another
+  (the histogram merge primitive used by the sharded-ingestion
+  coordinator), returning the *slack*: the portion of the poured mass
+  whose placement relied on the uniformity assumption.
 
 They live in the histogram layer because they are pure functions of a
 :class:`~repro.histograms.bucket.BucketArray` plus two scalar
@@ -129,3 +133,45 @@ def pour_uniform(histogram: BucketArray, lo: float, hi: float, mass: Mass) -> No
         overlap = min(hi, right) - max(lo, left)
         if overlap > 0.0:
             histogram.add_mass(i, mass.scaled(overlap / span))
+
+
+def span_is_exact(histogram: BucketArray, lo: float, hi: float) -> bool:
+    """True when pouring ``[lo, hi]`` into ``histogram`` needs no assumption.
+
+    A poured span lands exactly where per-tuple inserts would have put it
+    when it fits inside a single target bucket (every tuple the span
+    summarises belonged to that bucket).  Spans straddling a bucket edge —
+    or extending past the histogram's range, where :func:`pour_uniform`
+    clamps — are split pro-rata under local uniformity instead.
+    """
+    if lo < histogram.low or hi > histogram.high:
+        return False
+    index = histogram.locate(lo)
+    edges = histogram.edges
+    return hi <= edges[index + 1]
+
+
+def pour_histogram(target: BucketArray, source: BucketArray) -> Mass:
+    """Re-pour every ``source`` bucket's mass into ``target`` pro-rata.
+
+    The merge primitive for bucket histograms with different boundaries:
+    each source bucket's mass is spread over its span under the paper's
+    local-uniformity assumption (clamping spans that extend outside the
+    target's range into its boundary buckets, as :func:`pour_uniform`
+    does).  Total mass is conserved exactly; *placement* of a source
+    bucket is exact only when its span fits inside one target bucket.
+
+    Returns the slack: the summed mass of source buckets whose placement
+    relied on the uniformity assumption.  This is the conservative
+    per-merge error bound on any band query against the merged histogram.
+    """
+    slack = ZERO_MASS
+    edges = source.edges
+    for i, (left, right) in enumerate(zip(edges, edges[1:])):
+        mass = source.bucket_mass(i)
+        if mass.count == 0.0 and mass.weight == 0.0:
+            continue
+        if not span_is_exact(target, left, right):
+            slack += mass
+        pour_uniform(target, left, right, mass)
+    return slack

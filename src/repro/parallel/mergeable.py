@@ -1,0 +1,74 @@
+"""The MergeableSummary protocol: what sharded ingestion requires.
+
+The correlated-aggregate estimators are built from components that are
+naturally mergeable — Welford moments, GK rank sketches, bucket mass
+arrays — which is what makes multi-process ingestion possible at all:
+each shard summarises its substream independently, and the coordinator
+combines the summaries at query time.  This module names that contract.
+
+A summary is *mergeable* when it supports:
+
+* ``merge_from(other)`` — absorb ``other`` (built over a **disjoint**
+  substream of the same stream) so ``self`` summarises the union.
+  ``other`` is left unmodified.
+* ``merge_error_bound()`` — the additional error the merges introduced,
+  in the summary's own units (rank-mass for GK sketches, count-mass for
+  bucket histograms, output units for estimators).  Zero for components
+  whose merge is exact.
+
+Implementations in this library:
+
+==============================================  =========================
+summary                                         merge error
+==============================================  =========================
+``structures.welford.RunningMoments``           exact (parallel Welford)
+``structures.gk_quantiles.GKQuantileSummary``   ``(eps_1 + eps_2) * n`` ranks
+``histograms.bucket.BucketArray``               re-poured straddling mass
+``core.landmark_extrema.LandmarkExtremaEstimator``  re-poured overlap mass
+``core.landmark_avg.LandmarkAvgEstimator``      re-poured region mass
+==============================================  =========================
+
+Sliding-window estimators are **not** mergeable: a window is defined
+over a single arrival order, which sharding destroys.  They raise
+:class:`~repro.exceptions.ConfigurationError` from ``merge_from``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MergeableSummary", "merge_all"]
+
+
+@runtime_checkable
+class MergeableSummary(Protocol):
+    """Structural type for summaries combinable across disjoint substreams."""
+
+    def merge_from(self, other: "MergeableSummary") -> None:
+        """Absorb ``other`` so ``self`` summarises the union of both streams."""
+        ...
+
+    def merge_error_bound(self) -> float:
+        """Additional error introduced by merging, in the summary's units."""
+        ...
+
+
+def merge_all(summaries: list) -> "MergeableSummary":
+    """Fold a non-empty list of summaries into its first element.
+
+    The coordinator-side reduction: ``summaries[0]`` absorbs the rest in
+    order and is returned.  Merging is associative up to the declared
+    error bounds, so order only affects which instance survives.
+    """
+    if not summaries:
+        raise ConfigurationError("merge_all needs at least one summary")
+    head = summaries[0]
+    if not isinstance(head, MergeableSummary):
+        raise ConfigurationError(
+            f"{type(head).__name__} does not implement MergeableSummary"
+        )
+    for other in summaries[1:]:
+        head.merge_from(other)
+    return head

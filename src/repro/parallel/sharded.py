@@ -1,0 +1,385 @@
+"""Sharded multi-process ingestion over mergeable summaries.
+
+:class:`ShardedIngestor` is a front-end over the existing estimators: it
+partitions a stream across ``multiprocessing`` workers, each running one
+estimator over its shard via the batched ``update_many`` path, and merges
+the per-shard summaries at query time in the coordinator (the
+``add``/``merge``/``end`` aggregation-function shape).
+
+Exactness boundaries (see docs/PARALLEL.md for the full table):
+
+* counts, weights, moments (mean/variance) and extrema merge **exactly**;
+* GK rank sketches merge within ``(sum of shard eps) * n`` ranks;
+* bucket-histogram mass is re-poured pro-rata under the paper's local-
+  uniformity assumption — the merged estimator's ``merge_error_bound()``
+  reports the mass whose placement relied on it.
+
+Only landmark-scope focused estimators are shardable: sliding windows are
+defined over a single arrival order, which partitioning destroys, so
+sliding queries (and ``time_window=``) are rejected up front.
+
+IPC protocol: one input queue per shard (records travel in batched
+chunks; per-shard FIFO makes the query message a natural barrier) and one
+shared output queue.  Workers receive their estimator as an explicit
+pickle payload, so construction is identical — and tested — under both
+``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import traceback
+from collections.abc import Iterable
+
+from repro.core.engine import FOCUSED_METHODS, build_estimator
+from repro.core.focused import FocusedEstimatorBase
+from repro.core.query import CorrelatedQuery
+from repro.exceptions import ConfigurationError, StreamError
+from repro.obs.sink import NULL_SINK, ObsSink
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.parallel.partition import RangePartitioner, RoundRobinPartitioner, make_partitioner
+from repro.streams.model import Record
+
+__all__ = ["ShardedIngestor"]
+
+_MAX_SHARDS = 64
+
+
+def _shard_worker(shard_id: int, payload: bytes, in_queue, out_queue) -> None:
+    """One worker process: unpickle the estimator, drain chunks, answer queries."""
+    try:
+        estimator = pickle.loads(payload)
+        ingested = 0
+        while True:
+            message = in_queue.get()
+            tag = message[0]
+            if tag == "chunk":
+                estimator.update_many(message[1])
+                ingested += len(message[1])
+            elif tag == "query":
+                out_queue.put(("summary", shard_id, estimator, ingested))
+            elif tag == "stop":
+                out_queue.put(("stopped", shard_id, ingested))
+                return
+    except Exception:
+        out_queue.put(("error", shard_id, traceback.format_exc()))
+
+
+class ShardedIngestor:
+    """Partition a stream across worker processes; merge summaries on query.
+
+    Parameters
+    ----------
+    query:
+        A landmark-scope :class:`~repro.core.query.CorrelatedQuery`
+        (sliding windows are not shardable).
+    method:
+        One of the four focused methods — their estimators implement the
+        MergeableSummary protocol.
+    shards:
+        Number of worker processes (``1..64``).
+    partition:
+        ``'round-robin'`` (default), ``'hash'``, or ``'range'`` — see
+        :mod:`repro.parallel.partition` for the trade-offs.
+    chunk_size:
+        Records per IPC message; batching amortises queue/pickle overhead.
+    start_method:
+        ``multiprocessing`` start method (``'fork'``/``'spawn'``/...);
+        ``None`` uses the platform default.
+    sink, tracer:
+        Coordinator-side observability.  Workers run without obs plumbing
+        (their summaries travel back whole; per-shard gauges are exposed
+        via :meth:`obs_state` and the ``parallel.*`` events instead).
+    estimator_kwargs:
+        Forwarded to :func:`~repro.core.engine.build_estimator` for every
+        shard's estimator (``k_std``, ``swap_period``, ...).
+    """
+
+    def __init__(
+        self,
+        query: CorrelatedQuery,
+        method: str = "piecemeal-uniform",
+        num_buckets: int = 10,
+        shards: int = 2,
+        partition: str = "round-robin",
+        chunk_size: int = 4096,
+        start_method: str | None = None,
+        result_timeout: float = 120.0,
+        sink: ObsSink | None = None,
+        tracer: Tracer | None = None,
+        **estimator_kwargs,
+    ) -> None:
+        if not isinstance(shards, int) or not 1 <= shards <= _MAX_SHARDS:
+            raise ConfigurationError(
+                f"shards must be an integer in [1, {_MAX_SHARDS}], got {shards!r}"
+            )
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if query.is_sliding:
+            raise ConfigurationError(
+                "sliding-window queries are not shardable: the window is "
+                "defined over a single arrival order, which partitioning "
+                "destroys; drop the window= scope or ingest single-process"
+            )
+        if "time_window" in estimator_kwargs:
+            raise ConfigurationError(
+                "time_window= is not shardable (a time window is a sliding "
+                "scope); drop it or ingest single-process"
+            )
+        if method not in FOCUSED_METHODS:
+            raise ConfigurationError(
+                "sharded ingestion merges focused summaries; method must be "
+                f"one of {FOCUSED_METHODS}, not {method!r}"
+            )
+        valid = (None,) + tuple(mp.get_all_start_methods())
+        if start_method not in valid:
+            raise ConfigurationError(
+                f"unknown start method {start_method!r}; "
+                f"this platform supports {mp.get_all_start_methods()}"
+            )
+        self._query = query
+        self._method = method
+        self._shards = shards
+        self._chunk_size = chunk_size
+        self._partitioner = make_partitioner(partition, shards)
+        self._start_method = start_method
+        self._timeout = result_timeout
+        self._obs = sink if sink is not None else NULL_SINK
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        # Build every shard's estimator in the coordinator and ship it as
+        # an explicit pickle: workers never re-run the factory, and the
+        # payload path exercises spawn-safety identically under fork.
+        self._payloads = [
+            pickle.dumps(
+                build_estimator(query, method, num_buckets=num_buckets, **estimator_kwargs),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            for _ in range(shards)
+        ]
+        self._buffers: list[list[Record]] = [[] for _ in range(shards)]
+        self._prime_buffer: list[Record] = []
+        self._sent = [0] * shards
+        self._ingested = 0
+        self._last_bound: float | None = None
+        self._processes: list[mp.process.BaseProcess] = []
+        self._queues: list = []
+        self._out = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Launch the worker processes (idempotent)."""
+        if self._started:
+            return
+        if self._closed:
+            raise StreamError("ShardedIngestor was closed; build a new one")
+        ctx = mp.get_context(self._start_method)
+        self._out = ctx.Queue()
+        self._queues = [ctx.Queue() for _ in range(self._shards)]
+        self._processes = []
+        for shard_id in range(self._shards):
+            process = ctx.Process(
+                target=_shard_worker,
+                args=(shard_id, self._payloads[shard_id], self._queues[shard_id], self._out),
+                daemon=True,
+                name=f"repro-shard-{shard_id}",
+            )
+            process.start()
+            self._processes.append(process)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop the workers and reclaim the processes."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        for q in self._queues:
+            try:
+                q.put(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for q in [*self._queues, self._out]:
+            q.close()
+            q.cancel_join_thread()
+        self._closed = True
+        self._started = False
+
+    def __enter__(self) -> "ShardedIngestor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ ingestion
+
+    def ingest(self, records: Iterable[Record]) -> None:
+        """Partition a batch of records across the shards."""
+        if not self._started:
+            self.start()
+        records = [r if isinstance(r, Record) else Record(*r) for r in records]
+        if not records:
+            return
+        if self._tracer.enabled:
+            with self._tracer.span("parallel.ingest", records=float(len(records))):
+                self._partition_records(records)
+        else:
+            self._partition_records(records)
+        self._ingested += len(records)
+        if self._obs.enabled:
+            self._obs.emit(
+                "parallel.ingest", records=float(len(records)), shards=float(self._shards)
+            )
+
+    def _partition_records(self, records: list[Record]) -> None:
+        partitioner = self._partitioner
+        if isinstance(partitioner, RangePartitioner) and not partitioner.primed:
+            # Buffer until one chunk's worth of sample fixes the split points.
+            self._prime_buffer.extend(records)
+            if len(self._prime_buffer) < max(self._chunk_size, 4 * self._shards):
+                return
+            self._prime_range()
+            return
+        if isinstance(partitioner, RoundRobinPartitioner):
+            # Chunk-granular striping: one assignment per chunk keeps the
+            # coordinator loop out of the per-record hot path entirely.
+            # The stripe granule shrinks for small batches so a single
+            # ingest() call still spreads over every shard.
+            size = min(self._chunk_size, max(1, -(-len(records) // self._shards)))
+            for i in range(0, len(records), size):
+                chunk = records[i : i + size]
+                shard = partitioner.next_chunk_shard()
+                buffer = self._buffers[shard]
+                buffer.extend(chunk)
+                if len(buffer) >= self._chunk_size:
+                    self._flush_shard(shard)
+            return
+        buffers = self._buffers
+        assign = partitioner.assign
+        for record in records:
+            buffers[assign(record)].append(record)
+        for shard, buffer in enumerate(buffers):
+            if len(buffer) >= self._chunk_size:
+                self._flush_shard(shard)
+
+    def _prime_range(self) -> None:
+        assert isinstance(self._partitioner, RangePartitioner)
+        sample = self._prime_buffer
+        self._prime_buffer = []
+        self._partitioner.prime([r.x for r in sample])
+        self._partition_records(sample)
+
+    def _flush_shard(self, shard: int) -> None:
+        buffer = self._buffers[shard]
+        if not buffer:
+            return
+        self._queues[shard].put(("chunk", buffer))
+        self._sent[shard] += len(buffer)
+        self._buffers[shard] = []
+
+    def flush(self) -> None:
+        """Push every partially filled buffer out to its shard."""
+        if isinstance(self._partitioner, RangePartitioner) and self._prime_buffer:
+            self._prime_range()
+        for shard in range(self._shards):
+            self._flush_shard(shard)
+
+    # -------------------------------------------------------------- queries
+
+    def merged_estimator(self) -> FocusedEstimatorBase:
+        """Collect every shard's summary and merge them into one estimator.
+
+        The returned estimator is a coordinator-side snapshot: the workers
+        keep their live estimators, so ingestion can continue and further
+        queries see the newer state.
+        """
+        if not self._started:
+            self.start()
+        self.flush()
+        for q in self._queues:
+            q.put(("query",))
+        summaries: dict[int, FocusedEstimatorBase] = {}
+        counts: dict[int, int] = {}
+        waited = 0.0
+        poll = min(2.0, self._timeout)
+        while len(summaries) < self._shards:
+            try:
+                message = self._out.get(timeout=poll)
+            except queue_mod.Empty:
+                dead = [p.name for p in self._processes if not p.is_alive()]
+                waited += poll
+                if dead:
+                    raise StreamError(
+                        f"shard workers died before answering: {dead} "
+                        "(a worker that fails to unpickle its estimator "
+                        "exits without reporting; check the stderr above)"
+                    ) from None
+                if waited >= self._timeout:
+                    raise StreamError(
+                        f"timed out waiting for shard summaries after {self._timeout}s"
+                    ) from None
+                continue
+            tag = message[0]
+            if tag == "error":
+                raise StreamError(f"shard {message[1]} failed:\n{message[2]}")
+            if tag == "summary":
+                summaries[message[1]] = message[2]
+                counts[message[1]] = message[3]
+        with self._tracer.span("parallel.merge", shards=float(self._shards)):
+            merged = summaries[0]
+            for shard in range(1, self._shards):
+                merged.merge_from(summaries[shard])
+        try:
+            self._last_bound = merged.merge_error_bound()
+        except ConfigurationError:  # AVG dependents have no defined bound
+            self._last_bound = None
+        if self._obs.enabled:
+            fields = {f"shard_{i}_records": float(counts[i]) for i in counts}
+            self._obs.emit(
+                "parallel.merge",
+                shards=float(self._shards),
+                records=float(sum(counts.values())),
+                **fields,
+            )
+        return merged
+
+    def query(self) -> float:
+        """The merged estimate over everything ingested so far."""
+        return self.merged_estimator().estimate()
+
+    def merge_error_bound(self) -> float | None:
+        """The bound reported by the most recent merge (None before any)."""
+        return self._last_bound
+
+    # -------------------------------------------------------- observability
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def ingested(self) -> int:
+        """Records accepted by :meth:`ingest` so far."""
+        return self._ingested
+
+    def obs_state(self) -> dict[str, float]:
+        """Per-shard gauges for the instrumentation layer."""
+        state = {
+            "shards": float(self._shards),
+            "pending": float(
+                sum(len(b) for b in self._buffers) + len(self._prime_buffer)
+            ),
+            "ingested": float(self._ingested),
+        }
+        for shard, sent in enumerate(self._sent):
+            state[f"shard.{shard}.records"] = float(sent)
+        return state

@@ -126,3 +126,16 @@ class RunningMoments:
         self._count = total
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
+
+    # -- MergeableSummary protocol -------------------------------------
+    def merge_from(self, other: "RunningMoments") -> None:
+        """Alias for :meth:`merge` (the MergeableSummary spelling)."""
+        self.merge(other)
+
+    def merge_error_bound(self) -> float:
+        """Parallel Welford is exact in real arithmetic: bound is zero.
+
+        (Floating-point roundoff is the usual ~1e-15 relative, not an
+        algorithmic merge error.)
+        """
+        return 0.0

@@ -1,0 +1,205 @@
+"""Shard-then-merge parity: split a seeded stream K ways, merge, compare.
+
+Satellite requirement: for K in {2, 3, 8}, the merged summary must match
+the single-stream answer exactly for the exact components (counts,
+moments, extrema) and within the declared error bound for the
+approximate ones (GK rank sketches, bucket mass).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import build_estimator
+from repro.core.query import CorrelatedQuery
+from repro.histograms.bucket import BucketArray
+from repro.parallel import merge_all
+from repro.streams.model import Record
+from repro.structures.gk_quantiles import GKQuantileSummary
+from repro.structures.welford import RunningMoments
+
+KS = [2, 3, 8]
+
+
+def _gaussian_stream(n: int, seed: int = 7) -> list[Record]:
+    rng = random.Random(seed)
+    return [Record(x=rng.gauss(50.0, 12.0), y=rng.uniform(0.0, 2.0)) for _ in range(n)]
+
+
+def _split(items: list, k: int) -> list[list]:
+    """Round-robin split into k disjoint substreams."""
+    return [items[i::k] for i in range(k)]
+
+
+class TestMomentsParity:
+    @pytest.mark.parametrize("k", KS)
+    def test_exact_components_match_exactly(self, k):
+        values = [r.x for r in _gaussian_stream(4000)]
+        whole = RunningMoments()
+        for v in values:
+            whole.push(v)
+        parts = []
+        for chunk in _split(values, k):
+            m = RunningMoments()
+            for v in chunk:
+                m.push(v)
+            parts.append(m)
+        merged = merge_all(parts)
+        assert merged.count == whole.count
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(whole.variance, rel=1e-9)
+        assert merged.merge_error_bound() == 0.0
+
+
+class TestGKParity:
+    @pytest.mark.parametrize("k", KS)
+    def test_merged_within_summed_eps_of_exact(self, k):
+        eps = 0.01
+        values = [r.x for r in _gaussian_stream(6000)]
+        parts = []
+        for chunk in _split(values, k):
+            s = GKQuantileSummary(eps=eps)
+            for v in chunk:
+                s.insert(v)
+            parts.append(s)
+        merged = merge_all(parts)
+        assert merged.count == len(values)
+        assert merged.effective_eps == pytest.approx(k * eps)
+        ordered = sorted(values)
+        n = len(ordered)
+        allowed = merged.effective_eps * n + 1  # +1: rank discretisation
+        import bisect
+
+        for p in (0.05, 0.25, 0.5, 0.75, 0.95):
+            answer = merged.quantile(p)
+            lo = bisect.bisect_left(ordered, answer) + 1
+            hi = bisect.bisect_right(ordered, answer)
+            target = max(int(p * n), 1)
+            distance = 0 if lo <= target <= hi else min(abs(lo - target), abs(hi - target))
+            assert distance <= allowed
+
+
+class TestBucketParity:
+    @pytest.mark.parametrize("k", KS)
+    def test_same_edges_merge_is_exact(self, k):
+        edges = [0.0, 25.0, 50.0, 75.0, 100.0]
+        records = _gaussian_stream(3000)
+        whole = BucketArray(edges)
+        for r in records:
+            whole.add(min(max(r.x, 0.0), 100.0), r.y)
+        parts = []
+        for chunk in _split(records, k):
+            h = BucketArray(edges)
+            for r in chunk:
+                h.add(min(max(r.x, 0.0), 100.0), r.y)
+            parts.append(h)
+        merged = merge_all(parts)
+        assert merged.counts == pytest.approx(whole.counts)
+        assert merged.weights == pytest.approx(whole.weights)
+        assert merged.merge_error_bound() == 0.0
+
+    @pytest.mark.parametrize("k", KS)
+    def test_different_edges_conserve_mass_within_slack(self, k):
+        records = _gaussian_stream(3000)
+        rng = random.Random(k)
+        parts = []
+        for chunk in _split(records, k):
+            # Each shard picks its own (data-dependent) boundaries.
+            xs = sorted(r.x for r in chunk)
+            lo, hi = xs[0] - 1e-9, xs[-1] + 1e-9
+            cuts = sorted(rng.uniform(lo, hi) for _ in range(3))
+            h = BucketArray([lo, *cuts, hi])
+            for r in chunk:
+                h.add(r.x, r.y)
+            parts.append(h)
+        expect = sum(len(c.counts) and sum(c.counts) for c in parts)
+        merged = merge_all(parts)
+        assert merged.total().count == pytest.approx(expect)
+        # Slack never exceeds the total poured mass.
+        assert 0.0 <= merged.merge_error_bound() <= merged.total().count
+
+
+class TestEstimatorParity:
+    """Merged estimators vs the single-process estimator on the same stream."""
+
+    @pytest.mark.parametrize("k", KS)
+    def test_extrema_count_parity(self, k):
+        query = CorrelatedQuery(dependent="count", independent="min", epsilon=0.5)
+        records = _gaussian_stream(4000, seed=11)
+        single = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+        single.update_many(records)
+        shards = []
+        for chunk in _split(records, k):
+            est = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+            est.update_many(chunk)
+            shards.append(est)
+        merged = merge_all(shards)
+        bound = merged.merge_error_bound()
+        # The exact MIN side-channel survives the merge untouched.
+        assert merged.extremum == single.extremum
+        # The merged answer stays within the declared slack plus one
+        # tuple of interpolation drift (independently evolved bucket
+        # layouts place mass inside a bucket slightly differently).
+        assert abs(merged.estimate() - single.estimate()) <= bound + 1.0
+        exact = sum(1 for r in records if r.x <= 1.5 * merged.extremum)
+        assert abs(merged.estimate() - exact) <= bound + 2.0
+
+    @pytest.mark.parametrize("k", KS)
+    def test_avg_count_parity(self, k):
+        query = CorrelatedQuery(dependent="count", independent="avg")
+        records = _gaussian_stream(4000, seed=23)
+        single = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+        single.update_many(records)
+        shards = []
+        for chunk in _split(records, k):
+            est = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+            est.update_many(chunk)
+            shards.append(est)
+        merged = merge_all(shards)
+        # Moments (count, mean, extrema) merge exactly.
+        assert merged._moments.count == single._moments.count
+        assert merged.mean == pytest.approx(single.mean, rel=1e-12)
+        assert merged._moments.minimum == single._moments.minimum
+        assert merged._moments.maximum == single._moments.maximum
+        # The histogram answer: close to the single-stream estimate on a
+        # well-behaved stream (both approximate the same exact answer).
+        assert merged.estimate() == pytest.approx(single.estimate(), rel=0.1)
+
+    @pytest.mark.parametrize("k", KS)
+    def test_sum_dependent_parity(self, k):
+        query = CorrelatedQuery(dependent="sum", independent="min", epsilon=0.5)
+        records = _gaussian_stream(4000, seed=31)
+        single = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+        single.update_many(records)
+        shards = []
+        for chunk in _split(records, k):
+            est = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+            est.update_many(chunk)
+            shards.append(est)
+        merged = merge_all(shards)
+        bound = merged.merge_error_bound()  # weight-mass for SUM
+        # Tolerance: declared slack plus one tuple's worth of weight
+        # (y values are drawn from [0, 2]) of interpolation drift.
+        assert abs(merged.estimate() - single.estimate()) <= bound + 2.0
+
+    def test_merge_order_invariance_up_to_bound(self):
+        query = CorrelatedQuery(dependent="count", independent="min", epsilon=0.5)
+        records = _gaussian_stream(3000, seed=41)
+        chunks = _split(records, 3)
+
+        def run(order):
+            shards = []
+            for i in order:
+                est = build_estimator(query, "piecemeal-uniform", num_buckets=10)
+                est.update_many(chunks[i])
+                shards.append(est)
+            return merge_all(shards)
+
+        a = run([0, 1, 2])
+        b = run([2, 0, 1])
+        tol = max(a.merge_error_bound() + b.merge_error_bound(), 1e-6)
+        assert abs(a.estimate() - b.estimate()) <= tol + 1e-9

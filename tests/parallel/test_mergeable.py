@@ -1,0 +1,206 @@
+"""MergeableSummary protocol: GK sketch, moments and bucket-array merges."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.histograms.bucket import BucketArray, Mass
+from repro.histograms.mass import pour_histogram, span_is_exact
+from repro.parallel import MergeableSummary, merge_all
+from repro.structures.gk_quantiles import GKQuantileSummary
+from repro.structures.welford import RunningMoments
+
+
+def _rank_error(summary: GKQuantileSummary, values: list[float]) -> float:
+    """Worst |rank(answer) - target| / n over a quantile sweep."""
+    ordered = sorted(values)
+    n = len(ordered)
+    worst = 0.0
+    for p in (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+        answer = summary.quantile(p)
+        lo = bisect.bisect_left(ordered, answer)
+        hi = bisect.bisect_right(ordered, answer)
+        target = max(int(p * n), 1)
+        # Ties: any rank the value occupies is achievable; take the closest.
+        closest = min(abs(lo + 1 - target), abs(hi - target), key=abs)
+        if not lo + 1 <= target <= hi:
+            worst = max(worst, closest / n)
+    return worst
+
+
+class TestGKMerge:
+    """Satellite: merged rank error must stay within eps_1 + eps_2."""
+
+    @pytest.mark.parametrize(
+        "ordering",
+        ["random", "sorted", "reverse", "interleaved"],
+    )
+    def test_merged_rank_error_within_summed_eps(self, ordering):
+        rng = random.Random(13)
+        values = [rng.gauss(1000.0, 250.0) for _ in range(6000)]
+        if ordering == "sorted":
+            values.sort()
+        elif ordering == "reverse":
+            values.sort(reverse=True)
+        a = GKQuantileSummary(eps=0.01)
+        b = GKQuantileSummary(eps=0.02)
+        if ordering == "interleaved":
+            # Adversarial split: a sees the low half, b the high half.
+            ordered = sorted(values)
+            half = len(ordered) // 2
+            for v in ordered[:half]:
+                a.insert(v)
+            for v in ordered[half:]:
+                b.insert(v)
+        else:
+            for i, v in enumerate(values):
+                (a if i % 2 == 0 else b).insert(v)
+        merged = a.merge(b)
+        assert merged.count == len(values)
+        assert merged.effective_eps == pytest.approx(0.03)
+        assert merged.merge_error_bound() == pytest.approx(0.03 * len(values))
+        assert _rank_error(merged, values) <= 0.03
+
+    def test_merge_is_non_mutating(self):
+        a = GKQuantileSummary(eps=0.05)
+        b = GKQuantileSummary(eps=0.05)
+        for v in range(100):
+            a.insert(float(v))
+            b.insert(float(v) + 1000.0)
+        before = (a.count, len(a), a.effective_eps)
+        merged = a.merge(b)
+        assert (a.count, len(a), a.effective_eps) == before
+        assert b.count == 100
+        assert merged.count == 200
+
+    def test_merge_from_mutates_in_place(self):
+        a = GKQuantileSummary(eps=0.05)
+        b = GKQuantileSummary(eps=0.05)
+        for v in range(500):
+            (a if v % 2 else b).insert(float(v))
+        a.merge_from(b)
+        assert a.count == 500
+        assert a.effective_eps == pytest.approx(0.1)
+
+    def test_extremes_stay_exact_after_merge(self):
+        a = GKQuantileSummary(eps=0.02)
+        b = GKQuantileSummary(eps=0.02)
+        for v in range(1000):
+            (a if v % 2 else b).insert(float(v))
+        merged = a.merge(b)
+        edges = merged.boundaries(4)
+        assert edges[0] == 0.0
+        assert edges[-1] == 999.0
+
+    def test_empty_merges(self):
+        a = GKQuantileSummary(eps=0.01)
+        b = GKQuantileSummary(eps=0.01)
+        for v in range(100):
+            b.insert(float(v))
+        a.merge_from(b)  # empty absorbs populated: adopt
+        assert a.count == 100
+        c = GKQuantileSummary(eps=0.01)
+        a.merge_from(c)  # populated absorbs empty: no-op
+        assert a.count == 100
+        assert a.effective_eps == pytest.approx(0.01)
+
+    def test_merge_rejects_other_types(self):
+        a = GKQuantileSummary()
+        with pytest.raises(ConfigurationError):
+            a.merge_from(RunningMoments())
+
+    def test_repeated_merges_accumulate_eps(self):
+        parts = [GKQuantileSummary(eps=0.01) for _ in range(4)]
+        rng = random.Random(3)
+        values = [rng.uniform(0, 1) for _ in range(4000)]
+        for i, v in enumerate(values):
+            parts[i % 4].insert(v)
+        merged = merge_all(parts)
+        assert merged is parts[0]
+        assert merged.effective_eps == pytest.approx(0.04)
+        assert _rank_error(merged, values) <= 0.04
+
+
+class TestMomentsMerge:
+    def test_protocol_methods(self):
+        a, b = RunningMoments(), RunningMoments()
+        whole = RunningMoments()
+        rng = random.Random(5)
+        for i in range(3000):
+            v = rng.gauss(10.0, 4.0)
+            (a if i % 2 else b).push(v)
+            whole.push(v)
+        a.merge_from(b)
+        assert a.merge_error_bound() == 0.0
+        assert a.count == whole.count
+        assert a.minimum == whole.minimum
+        assert a.maximum == whole.maximum
+        assert a.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert a.variance == pytest.approx(whole.variance, rel=1e-9)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(RunningMoments(), MergeableSummary)
+        assert isinstance(GKQuantileSummary(), MergeableSummary)
+        assert isinstance(BucketArray([0.0, 1.0]), MergeableSummary)
+
+
+class TestBucketMerge:
+    def test_identical_edges_merge_exactly(self):
+        edges = [0.0, 10.0, 20.0, 30.0]
+        a = BucketArray(edges, counts=[1.0, 2.0, 3.0], weights=[1.0, 4.0, 9.0])
+        b = BucketArray(edges, counts=[5.0, 0.0, 1.0], weights=[5.0, 0.0, 2.0])
+        a.merge_from(b)
+        assert a.counts == [6.0, 2.0, 4.0]
+        assert a.weights == [6.0, 4.0, 11.0]
+        assert a.merge_error_bound() == 0.0
+
+    def test_misaligned_edges_conserve_total_and_report_slack(self):
+        a = BucketArray([0.0, 10.0, 20.0, 30.0, 40.0])
+        b = BucketArray([0.0, 7.0, 40.0], counts=[2.0, 6.0], weights=[2.0, 6.0])
+        total_before = a.total() + b.total()
+        a.merge_from(b)
+        assert a.total().count == pytest.approx(total_before.count)
+        assert a.total().weight == pytest.approx(total_before.weight)
+        # [0, 7] fits inside [0, 10] (exact); [7, 40] straddles edges (slack).
+        assert a.merge_error_bound() == pytest.approx(6.0)
+
+    def test_out_of_range_mass_clamps_into_boundary_buckets(self):
+        a = BucketArray([10.0, 20.0, 30.0])
+        b = BucketArray([0.0, 5.0, 40.0], counts=[3.0, 4.0], weights=[3.0, 4.0])
+        a.merge_from(b)
+        assert a.total().count == pytest.approx(7.0)
+        assert a.merge_error_bound() == pytest.approx(7.0)
+
+    def test_slack_chains_through_repeated_merges(self):
+        a = BucketArray([0.0, 10.0, 20.0])
+        b = BucketArray([0.0, 8.0, 20.0], counts=[1.0, 1.0], weights=[1.0, 1.0])
+        c = BucketArray([0.0, 8.0, 20.0])
+        c.merge_from(b)  # c now carries slack
+        slack_c = c.merge_error_bound()
+        a.merge_from(c)
+        assert a.merge_error_bound() >= slack_c
+
+    def test_span_is_exact(self):
+        h = BucketArray([0.0, 10.0, 20.0])
+        assert span_is_exact(h, 2.0, 8.0)
+        assert not span_is_exact(h, 2.0, 12.0)  # straddles an edge
+        assert not span_is_exact(h, -2.0, 5.0)  # extends outside
+
+    def test_pour_histogram_returns_slack_only(self):
+        target = BucketArray([0.0, 10.0, 20.0])
+        source = BucketArray([0.0, 4.0, 15.0], counts=[3.0, 5.0], weights=[3.0, 5.0])
+        slack = pour_histogram(target, source)
+        assert slack == Mass(5.0, 5.0)  # only the straddling bucket
+        assert target.total().count == pytest.approx(8.0)
+
+
+class TestMergeAll:
+    def test_rejects_empty_and_non_mergeable(self):
+        with pytest.raises(ConfigurationError):
+            merge_all([])
+        with pytest.raises(ConfigurationError):
+            merge_all([object()])

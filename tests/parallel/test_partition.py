@@ -1,0 +1,82 @@
+"""Partition policies: assignment behaviour and name validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import PARTITION_POLICIES, make_partitioner
+from repro.parallel.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+)
+from repro.streams.model import Record
+
+
+class TestMakePartitioner:
+    def test_builds_each_policy(self):
+        assert isinstance(make_partitioner("round-robin", 2), RoundRobinPartitioner)
+        assert isinstance(make_partitioner("hash", 2), HashPartitioner)
+        assert isinstance(make_partitioner("range", 2), RangePartitioner)
+
+    def test_unknown_policy_gets_did_you_mean(self):
+        with pytest.raises(ConfigurationError, match=r"did you mean 'round-robin'"):
+            make_partitioner("round-robbin", 2)
+        with pytest.raises(ConfigurationError, match="valid policies"):
+            make_partitioner("zigzag", 2)
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            make_partitioner("hash", 0)
+
+    def test_policy_tuple_is_complete(self):
+        assert PARTITION_POLICIES == ("round-robin", "hash", "range")
+
+
+class TestRoundRobin:
+    def test_cycles_evenly(self):
+        p = RoundRobinPartitioner(3)
+        assigned = [p.assign(Record(x=float(i))) for i in range(9)]
+        assert assigned == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_chunk_striping_advances_the_cycle(self):
+        p = RoundRobinPartitioner(2)
+        assert [p.next_chunk_shard() for _ in range(4)] == [0, 1, 0, 1]
+
+
+class TestHash:
+    def test_equal_values_share_a_shard(self):
+        p = HashPartitioner(4)
+        a = p.assign(Record(x=42.5))
+        assert all(p.assign(Record(x=42.5)) == a for _ in range(5))
+
+    def test_spreads_distinct_values(self):
+        p = HashPartitioner(4)
+        hit = {p.assign(Record(x=float(i) + 0.25)) for i in range(100)}
+        assert len(hit) > 1
+
+
+class TestRange:
+    def test_assign_before_prime_raises(self):
+        p = RangePartitioner(2)
+        assert p.requires_prime
+        assert not p.primed
+        with pytest.raises(ConfigurationError, match="prime"):
+            p.assign(Record(x=1.0))
+
+    def test_primed_edges_give_contiguous_ranges(self):
+        p = RangePartitioner(4)
+        p.prime([float(v) for v in range(100)])
+        assert p.primed
+        shards = [p.assign(Record(x=float(v))) for v in range(100)]
+        # Assignments are monotone in x and use every shard.
+        assert shards == sorted(shards)
+        assert set(shards) == {0, 1, 2, 3}
+
+    def test_prime_is_idempotent(self):
+        p = RangePartitioner(2)
+        p.prime([1.0, 2.0, 3.0, 4.0])
+        edges = list(p._edges)
+        p.prime([100.0, 200.0])
+        assert p._edges == edges

@@ -168,3 +168,58 @@ class TestStreamingEquidepthBaseline:
         h.add(1.0)
         with pytest.raises(StreamError):
             h.remove(1.0)
+
+
+class TestMerge:
+    """The sketch-level merge contract (sharded ingestion builds on it)."""
+
+    def _rank_of(self, ordered: np.ndarray, value: float) -> int:
+        return int(np.searchsorted(ordered, value, side="right"))
+
+    @pytest.mark.parametrize("ordering", ["random", "sorted", "reverse"])
+    def test_merged_quantiles_within_summed_eps(self, ordering):
+        rng = np.random.default_rng(17)
+        values = rng.normal(0.0, 1.0, size=5000)
+        if ordering == "sorted":
+            values = np.sort(values)
+        elif ordering == "reverse":
+            values = np.sort(values)[::-1]
+        a = GKQuantileSummary(eps=0.01)
+        b = GKQuantileSummary(eps=0.02)
+        for i, v in enumerate(values):
+            (a if i % 2 == 0 else b).insert(float(v))
+        merged = a.merge(b)
+        assert merged.effective_eps == pytest.approx(0.03)
+        ordered = np.sort(values)
+        n = len(ordered)
+        for p in (0.1, 0.25, 0.5, 0.75, 0.9):
+            rank = self._rank_of(ordered, merged.quantile(p))
+            assert abs(rank - p * n) <= 0.03 * n + 1
+
+    def test_merge_preserves_space_bound(self):
+        a = GKQuantileSummary(eps=0.02)
+        b = GKQuantileSummary(eps=0.02)
+        rng = np.random.default_rng(23)
+        for v in rng.uniform(0, 1, size=4000):
+            a.insert(float(v))
+        for v in rng.uniform(0, 1, size=4000):
+            b.insert(float(v))
+        merged = a.merge(b)
+        # Compression runs after the merge: the merged sketch must not be
+        # the concatenation of both entry lists.
+        assert len(merged) < len(a) + len(b)
+
+    def test_rank_bounds_still_bracket_truth_after_merge(self):
+        rng = np.random.default_rng(29)
+        values = rng.uniform(0.0, 100.0, size=3000)
+        a = GKQuantileSummary(eps=0.02)
+        b = GKQuantileSummary(eps=0.02)
+        for i, v in enumerate(values):
+            (a if i % 3 == 0 else b).insert(float(v))
+        merged = a.merge(b)
+        ordered = np.sort(values)
+        slop = int(np.ceil(merged.effective_eps * len(values))) + 1
+        for t in (10.0, 50.0, 90.0):
+            low, high = merged.rank_bounds(t)
+            truth = self._rank_of(ordered, t)
+            assert low - slop <= truth <= high + slop

@@ -291,3 +291,89 @@ class TestCheckpointFlags:
         code = main([*self.RUN, "--resume-from", str(tmp_path)])
         assert code == 2
         assert "no checkpoint" in capsys.readouterr().err
+
+
+class TestShardFlags:
+    ESTIMATE = [
+        "estimate",
+        "--dataset",
+        "ZIPF",
+        "--independent",
+        "min",
+        "--epsilon",
+        "1000",
+        "--size",
+        "600",
+    ]
+
+    def test_estimate_sharded(self, capsys):
+        code = main([*self.ESTIMATE, "--shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded: 2 workers, round-robin partitioning" in out
+        assert "merged estimate" in out
+        assert "per-shard records" in out
+
+    def test_run_sharded_smoke(self, capsys):
+        code = main(
+            [
+                "run",
+                "F4",
+                "--size",
+                "400",
+                "--shards",
+                "2",
+                "--methods",
+                "piecemeal-uniform",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded: 2 workers" in out
+        assert "merge bound" in out
+
+    def test_partition_did_you_mean(self, capsys):
+        code = main([*self.ESTIMATE, "--shards", "2", "--partition", "hsah"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'hash'" in err
+
+    def test_shards_and_checkpointing_are_exclusive(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "F4",
+                "--size",
+                "400",
+                "--shards",
+                "2",
+                "--checkpoint-every",
+                "100",
+                "--checkpoint-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
+        assert "per-coordinator" in err
+
+    def test_shards_and_serve_metrics_are_exclusive(self, capsys):
+        code = main(["run", "F4", "--size", "400", "--shards", "2", "--serve-metrics", "0"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_shards_and_batch_size_are_exclusive(self, capsys):
+        code = main([*self.ESTIMATE, "--shards", "2", "--batch-size", "64"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_shards_and_time_window_are_exclusive(self, capsys):
+        code = main([*self.ESTIMATE, "--shards", "2", "--time-window", "5"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sliding_query_sharded_is_rejected(self, capsys):
+        code = main([*self.ESTIMATE, "--shards", "2", "--window", "100"])
+        assert code == 2
+        assert "not shardable" in capsys.readouterr().err

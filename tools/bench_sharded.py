@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Scaling benchmark for sharded multi-process ingestion.
+
+Replays the landmark-AVG COUNT workload over the ZIPF stream through
+:class:`repro.parallel.ShardedIngestor` at 1, 2, 4 and 8 workers and
+compares wall-clock throughput (ingest + merge + query) against the
+single-process ``update_many`` baseline.  Accuracy is reported alongside
+speed: the merged estimate, the exact answer and the coordinator's
+merge bound for every point on the curve.
+
+Speedup is a property of the machine as much as the code — the report
+records ``cpu_count`` and the start method, and the acceptance criterion
+(>= 3x at 4 workers) is only expected to hold when at least 4 physical
+cores are available.  On smaller machines the curve documents the
+honest (flat or negative) scaling instead.
+
+Writes ``benchmarks/BENCH_sharded_ingestion.json``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_sharded.py [--size N] [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.engine import build_estimator  # noqa: E402
+from repro.core.exact import exact_series  # noqa: E402
+from repro.core.query import CorrelatedQuery  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.parallel import ShardedIngestor  # noqa: E402
+
+REPO = Path(__file__).resolve().parents[1]
+OUTPUT = REPO / "benchmarks" / "BENCH_sharded_ingestion.json"
+
+WORKER_COUNTS = (1, 2, 4, 8)
+METHOD = "piecemeal-uniform"
+NUM_BUCKETS = 10
+
+
+def _best_of(rounds: int, fn) -> tuple[float, float]:
+    """(best elapsed seconds, result from the best round)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def run(size: int, rounds: int, partition: str) -> dict:
+    query = CorrelatedQuery(dependent="count", independent="avg")
+    records = load_dataset("ZIPF", size=size)
+    exact = exact_series(records, query)[-1]
+
+    def baseline() -> float:
+        estimator = build_estimator(query, METHOD, num_buckets=NUM_BUCKETS)
+        estimator.update_many(records)
+        return estimator.estimate()
+
+    base_elapsed, base_estimate = _best_of(rounds, baseline)
+    base_tps = len(records) / base_elapsed
+
+    curve = []
+    for workers in WORKER_COUNTS:
+
+        def sharded() -> tuple[float, float | None]:
+            with ShardedIngestor(
+                query,
+                METHOD,
+                num_buckets=NUM_BUCKETS,
+                shards=workers,
+                partition=partition,
+                chunk_size=2048,
+            ) as ingestor:
+                ingestor.ingest(records)
+                answer = ingestor.query()
+                return answer, ingestor.merge_error_bound()
+
+        elapsed, (answer, bound) = _best_of(rounds, sharded)
+        tps = len(records) / elapsed
+        curve.append(
+            {
+                "workers": workers,
+                "seconds": elapsed,
+                "tuples_per_second": tps,
+                "speedup_vs_baseline": tps / base_tps,
+                "estimate": answer,
+                "relative_error": abs(answer - exact) / max(abs(exact), 1e-12),
+                "merge_bound": bound,
+            }
+        )
+
+    at4 = next(p for p in curve if p["workers"] == 4)
+    cpu_count = os.cpu_count() or 1
+    return {
+        "benchmark": "tools/bench_sharded.py",
+        "description": (
+            "ShardedIngestor scaling curve on the landmark-AVG COUNT query "
+            f"over {size} ZIPF tuples ({METHOD}, m={NUM_BUCKETS}, "
+            f"{partition} partitioning): 1/2/4/8 worker processes vs the "
+            "single-process update_many baseline, best of "
+            f"{rounds} rounds."
+        ),
+        "command": "PYTHONPATH=src python tools/bench_sharded.py",
+        "acceptance_criterion": (
+            ">= 3x baseline throughput at 4 workers on a machine with >= 4 "
+            "physical cores; on smaller machines the honest measured curve "
+            "is recorded instead"
+        ),
+        "machine": {
+            "cpu_count": cpu_count,
+            "start_method": multiprocessing.get_start_method(),
+            "platform": sys.platform,
+        },
+        "workload": {
+            "query": "COUNT{y: x > AVG(x)} [landmark]",
+            "dataset": "ZIPF",
+            "tuples": len(records),
+            "method": METHOD,
+            "num_buckets": NUM_BUCKETS,
+            "partition": partition,
+            "exact_answer": exact,
+        },
+        "baseline": {
+            "seconds": base_elapsed,
+            "tuples_per_second": base_tps,
+            "estimate": base_estimate,
+            "relative_error": abs(base_estimate - exact) / max(abs(exact), 1e-12),
+        },
+        "curve": curve,
+        "speedup_at_4": at4["speedup_vs_baseline"],
+        "meets_criterion": (
+            at4["speedup_vs_baseline"] >= 3.0 if cpu_count >= 4 else None
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=50_000)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--partition", default="round-robin")
+    parser.add_argument("--output", type=Path, default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run(args.size, args.rounds, args.partition)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"baseline: {report['baseline']['tuples_per_second']:,.0f} tuples/s")
+    for point in report["curve"]:
+        print(
+            f"{point['workers']} workers: {point['tuples_per_second']:,.0f} tuples/s "
+            f"({point['speedup_vs_baseline']:.2f}x), rel err "
+            f"{point['relative_error']:.4f}"
+        )
+    print(f"wrote {args.output}")
+    if report["meets_criterion"] is False:
+        print("FAIL: < 3x at 4 workers despite >= 4 cores", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

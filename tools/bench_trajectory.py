@@ -32,6 +32,16 @@ def _headline(report: dict) -> dict[str, object]:
     """
     if "speedup" in report:
         return {"speedup": report["speedup"]}
+    if "curve" in report:
+        return {
+            "speedup_at_4": report.get("speedup_at_4"),
+            "meets_criterion": report.get("meets_criterion"),
+            "cpu_count": report.get("machine", {}).get("cpu_count"),
+            "curve": {
+                str(point["workers"]): round(point["speedup_vs_baseline"], 3)
+                for point in report["curve"]
+            },
+        }
     if "workloads" in report:
         return {
             "within_budget": report.get("within_budget"),
