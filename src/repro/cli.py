@@ -161,11 +161,9 @@ def _check_shard_exclusions(args: argparse.Namespace, checkpointing: bool = Fals
             "exclusive (per-update auditing needs the single-process "
             "update sequence)"
         )
-    if args.batch_size:
+    if args.batch_size is not None and args.batch_size < 1:
         raise ConfigurationError(
-            "--shards and --batch-size are mutually exclusive (the sharded "
-            "path already ships records in chunks; tune with internal "
-            "chunking, not --batch-size)"
+            f"--batch-size must be >= 1, got {args.batch_size}"
         )
     if getattr(args, "time_window", None) is not None:
         raise ConfigurationError(
@@ -283,12 +281,16 @@ def _run_sharded(args: argparse.Namespace, methods: list[str] | None) -> int:
         rows = []
         for method in chosen:
             started = time.perf_counter()
+            shard_kwargs = {}
+            if args.batch_size is not None:
+                shard_kwargs["chunk_size"] = args.batch_size
             with ShardedIngestor(
                 panel.query,
                 method,
                 num_buckets=args.buckets or spec.num_buckets,
                 shards=args.shards,
                 partition=args.partition,
+                **shard_kwargs,
             ) as ingestor:
                 ingestor.ingest(records)
                 estimate = ingestor.query()
@@ -323,6 +325,9 @@ def _estimate_sharded(args: argparse.Namespace, query, records, method: str) -> 
     from repro.parallel import ShardedIngestor
 
     sink = RecordingSink() if args.metrics else None
+    shard_kwargs = {}
+    if args.batch_size is not None:
+        shard_kwargs["chunk_size"] = args.batch_size
     started = time.perf_counter()
     with ShardedIngestor(
         query,
@@ -331,6 +336,7 @@ def _estimate_sharded(args: argparse.Namespace, query, records, method: str) -> 
         shards=args.shards,
         partition=args.partition,
         sink=sink,
+        **shard_kwargs,
     ) as ingestor:
         ingestor.ingest(records)
         merged = ingestor.merged_estimator()
@@ -564,7 +570,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         dest="batch_size",
-        help="feed estimators through update_many in chunks of N records "
+        help="feed estimators through the columnar batch path in chunks of "
+        "N records; with --shards, sets the per-shard columnar chunk size "
         "(ignored with --metrics, which clocks individual updates)",
     )
     run.add_argument(
@@ -646,8 +653,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         dest="batch_size",
-        help="feed the estimator through update_many in chunks of N records "
-        "(ignored with --metrics, which clocks individual updates)",
+        help="feed the estimator through the columnar batch path in chunks "
+        "of N records; with --shards, sets the per-shard columnar chunk "
+        "size (ignored with --metrics, which clocks individual updates)",
     )
     est.add_argument(
         "--metrics",

@@ -67,10 +67,16 @@ from repro.histograms.reallocate import (
 )
 from repro.obs.sink import NULL_SINK, ObsSink
 from repro.obs.trace import NULL_TRACER, Tracer
-from repro.streams.model import Record, ensure_finite
+from repro.streams.columns import as_columns, columns_to_records, records_to_columns
+from repro.streams.model import Record, check_collect, ensure_finite
 from repro.structures.ring_buffer import RingBuffer
 
 STRATEGIES = ("wholesale", "piecemeal")
+
+#: Columnar chunks are sliced to this many records before hitting a family
+#: kernel, bounding the O(chunk) staging arrays (and the O(chunk * m)
+#: per-record output matrices of ``collect="all"``) on huge batches.
+COLUMN_CHUNK = 16_384
 
 
 class FocusedEstimatorBase:
@@ -196,16 +202,27 @@ class FocusedEstimatorBase:
 
     def update(self, record: Record) -> float:
         """Consume the next tuple; return the current estimate."""
+        self._absorb(record)
+        if self._tracer.enabled:  # per-tuple edge: guard before span setup
+            with self._tracer.span("kernel.answer"):
+                return self.estimate()
+        return self.estimate()
+
+    def _absorb(self, record: Record) -> None:
+        """:meth:`update` without the answer: ingest one tuple only.
+
+        The batched paths use it when ``collect`` says per-record
+        estimates are not wanted, and the columnar kernels use it to
+        run one boundary record (a reallocation trigger, a region
+        shift, a rebuild, a non-finite input) through the real scalar
+        machinery between vectorised segments.
+        """
         ensure_finite(record)
         carrier = self._ingest(record)
         if self._buffer is not None:
             self._warmup_step(record)
         else:
             self._step(record, carrier)
-        if self._tracer.enabled:  # per-tuple edge: guard before span setup
-            with self._tracer.span("kernel.answer"):
-                return self.estimate()
-        return self.estimate()
 
     def _warmup_step(self, record: Record) -> None:
         """Buffer exactly until ``m`` tuples justify a partitioning."""
@@ -310,35 +327,150 @@ class FocusedEstimatorBase:
 
     # ---------------------------------------------------- batched ingestion
 
-    def update_many(self, records: Iterable[Record]) -> list[float]:
-        """Consume a chunk of tuples; return one estimate per tuple.
+    def update_many(
+        self, records: Iterable[Record], collect: str = "all"
+    ) -> list[float]:
+        """Consume a chunk of tuples; return outputs per ``collect``.
 
-        Exactly equivalent to ``[self.update(r) for r in records]`` — the
-        parity suite enforces it — but subclasses override
-        :meth:`_update_batch` to resolve attributes and bound methods once
-        per batch instead of once per record.
+        ``collect="all"`` (the default) is exactly equivalent to
+        ``[self.update(r) for r in records]`` — the parity suite enforces
+        it.  ``"last"`` returns only the final estimate (``[]`` for an
+        empty chunk) and ``"none"`` returns ``[]``; both leave the summary
+        in the identical post-chunk state while skipping per-record answer
+        extraction.
+
+        When a family kernel supports the configuration (numpy present,
+        tracing off, and whatever the family's own gates require), the
+        steady-state remainder of the chunk is staged as x/y columns and
+        ingested through :meth:`_steady_columns`; otherwise it falls back
+        to the hoisted scalar loop.
         """
         if self._timestamped:
             raise ConfigurationError(
                 "this estimator ingests (time, record) pairs; use update_many_timed()"
             )
+        check_collect(collect)
         records = [r if isinstance(r, Record) else Record(*r) for r in records]
         outputs: list[float] = []
         i = 0
         n = len(records)
+        collect_all = collect == "all"
         while i < n and self._buffer is not None:
-            outputs.append(self.update(records[i]))
+            if collect_all:
+                outputs.append(self.update(records[i]))
+            else:
+                self._absorb(records[i])
             i += 1
         if i < n:
-            self._update_batch(records, i, outputs)
-        return outputs
+            if self._columns_supported(collect):
+                for lo in range(i, n, COLUMN_CHUNK):
+                    chunk = records[lo : lo + COLUMN_CHUNK]
+                    xs, ys = records_to_columns(chunk)
+                    self._steady_columns(xs, ys, chunk.__getitem__, outputs, collect)
+            elif collect_all:
+                self._update_batch(records, i, outputs)
+            else:
+                absorb = self._absorb
+                for j in range(i, n):
+                    absorb(records[j])
+        if collect_all:
+            return outputs
+        if collect == "last" and n:
+            return [self.estimate()]
+        return []
+
+    def update_columns(
+        self,
+        xs: Iterable[float],
+        ys: Iterable[float] | None = None,
+        collect: str = "all",
+    ) -> list[float]:
+        """Consume a columnar chunk: parallel arrays of x and y values.
+
+        Semantically ``update_many([Record(x, y) for x, y in zip(xs, ys)],
+        collect)`` with ``ys=None`` meaning y=1.0 throughout, but the
+        steady-state portion feeds the columns straight into the family
+        kernel without materialising records (records are built lazily
+        only for warmup tuples and kernel boundary events).
+        """
+        if self._timestamped:
+            raise ConfigurationError(
+                "this estimator ingests (time, record) pairs; use "
+                "update_columns_timed()"
+            )
+        check_collect(collect)
+        x_col, y_col = as_columns(xs, ys)
+        n = len(x_col)
+        outputs: list[float] = []
+        i = 0
+        collect_all = collect == "all"
+        while i < n and self._buffer is not None:
+            record = Record(float(x_col[i]), float(y_col[i]))
+            if collect_all:
+                outputs.append(self.update(record))
+            else:
+                self._absorb(record)
+            i += 1
+        if i < n:
+            if self._columns_supported(collect):
+                for lo in range(i, n, COLUMN_CHUNK):
+                    sx = x_col[lo : lo + COLUMN_CHUNK]
+                    sy = y_col[lo : lo + COLUMN_CHUNK]
+
+                    def record_at(j: int, sx=sx, sy=sy) -> Record:
+                        return Record(float(sx[j]), float(sy[j]))
+
+                    self._steady_columns(sx, sy, record_at, outputs, collect)
+            else:
+                remaining = columns_to_records(x_col[i:], y_col[i:])
+                if collect_all:
+                    self._update_batch(remaining, 0, outputs)
+                else:
+                    absorb = self._absorb
+                    for record in remaining:
+                        absorb(record)
+        if collect_all:
+            return outputs
+        if collect == "last" and n:
+            return [self.estimate()]
+        return []
 
     def _update_batch(self, records: list[Record], start: int, outputs: list[float]) -> None:
-        """Steady-state batch loop; subclasses may inline their hot path."""
+        """Steady-state batch loop: the scalar fallback hot path."""
         update = self.update
         append = outputs.append
         for record in records[start:] if start else records:
             append(update(record))
+
+    def _columns_supported(self, collect: str) -> bool:
+        """Whether :meth:`_steady_columns` can take chunks right now.
+
+        Family kernels override this with their own gates (numpy
+        availability, tracing off, bucket policy, obs constraints,
+        supported ``collect`` modes).  The base class has no vectorised
+        kernel, so the answer is no.
+        """
+        return False
+
+    def _steady_columns(
+        self,
+        xs,
+        ys,
+        record_at,
+        outputs: list[float],
+        collect: str,
+    ) -> None:
+        """Vectorised steady-state ingestion of one column chunk.
+
+        Family-kernel hook, only reachable when :meth:`_columns_supported`
+        returned True for ``collect``.  ``xs``/``ys`` are equal-length
+        float64 arrays of steady-state tuples; ``record_at(j)`` lazily
+        materialises tuple ``j`` as a :class:`Record` (kernels call it for
+        boundary records they push through the scalar machinery).  With
+        ``collect="all"`` the kernel must append one estimate per tuple to
+        ``outputs``, bit-identical to the scalar loop.
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------ merging
 

@@ -39,9 +39,11 @@ from typing import Any
 from repro.core.focused import STRATEGIES, FocusedEstimatorBase, TwoTailSummaryMixin
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError
+from repro.histograms.bucket import Mass
 from repro.histograms.partition import normal_quantile_boundaries
 from repro.obs.sink import ObsSink
 from repro.obs.trace import Tracer
+from repro.streams.columns import HAVE_NUMPY, np
 from repro.streams.model import Record
 from repro.structures.welford import RunningMoments
 
@@ -157,6 +159,161 @@ class LandmarkAvgEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
         return normal_quantile_boundaries(
             self._moments.mean, self._moments.standard_error, self._inner_m, lo, hi
         )
+
+    # --------------------------------------------------- columnar kernel
+
+    def _columns_supported(self, collect: str) -> bool:
+        # Per-record answers would need band_mass over the live summary
+        # for every tuple; the vectorised path only skips them, so
+        # collect="all" stays on the scalar loop.
+        return (
+            HAVE_NUMPY
+            and collect != "all"
+            and not self._tracer.enabled
+            and self._policy != "quantile"
+        )
+
+    def _steady_columns(self, xs, ys, record_at, outputs, collect: str) -> None:
+        """Vectorised steady-state ingestion for the landmark-AVG scope.
+
+        A pure-Python replay of the Welford recurrence produces the
+        per-record moment trace (bit-identical to ``RunningMoments.push``,
+        since pushes are pure and deterministic); the CLT focus target is
+        then evaluated for the whole chunk at once, and the stream is cut
+        into segments at *boundary records* — reallocation triggers and
+        non-finite inputs — which run through the real scalar machinery
+        after the staged state is synced.  Between boundaries the focus
+        region is static, so tail mass accumulates via sequential-order
+        cumulative sums and fine-bucket mass via an unbuffered scatter,
+        both bit-identical to the scalar loop.
+        """
+        n = len(xs)
+        moments = self._moments
+        cnt = moments._count
+        mean = moments._mean
+        m2 = moments._m2
+        mn = moments._min
+        mx = moments._max
+        state0 = (cnt, mean, m2, mn, mx)
+        cnt_l: list[int] = []
+        mean_l: list[float] = []
+        m2_l: list[float] = []
+        mn_l: list[float] = []
+        mx_l: list[float] = []
+        ap_c = cnt_l.append
+        ap_mean = mean_l.append
+        ap_m2 = m2_l.append
+        ap_mn = mn_l.append
+        ap_mx = mx_l.append
+        for x in xs.tolist():
+            cnt += 1
+            delta = x - mean
+            mean += delta / cnt
+            m2 += delta * (x - mean)
+            if x < mn:
+                mn = x
+            if x > mx:
+                mx = x
+            ap_c(cnt)
+            ap_mean(mean)
+            ap_m2(m2)
+            ap_mn(mn)
+            ap_mx(mx)
+
+        cnt_a = np.asarray(cnt_l, dtype=np.float64)
+        mean_a = np.asarray(mean_l)
+        m2_a = np.asarray(m2_l)
+        mn_a = np.asarray(mn_l)
+        mx_a = np.asarray(mx_l)
+        # _clt_interval, op for op (max/min ties on ±0.0 only affect the
+        # sign of a zero, which the trigger comparison takes abs() of).
+        se = np.sqrt(np.maximum(m2_a / cnt_a, 0.0)) / np.sqrt(cnt_a)
+        half = self._k * se
+        if self._query.two_sided:
+            half = half + self._query.epsilon
+        half = np.where(half <= 0.0, np.maximum(np.abs(mean_a) * 1e-9, 1e-12), half)
+        lo_a = np.maximum(mean_a - half, mn_a)
+        hi_a = np.minimum(mean_a + half, mx_a)
+        degenerate = hi_a <= lo_a
+        if degenerate.any():
+            span = np.maximum(
+                np.maximum((mx_a - mn_a) * 1e-6, np.abs(mean_a) * 1e-9), 1e-12
+            )
+            lo_a = np.where(degenerate, np.maximum(mean_a - span, mn_a), lo_a)
+            hi_a = np.where(degenerate, lo_a + 2.0 * span, hi_a)
+
+        bad = ~(np.isfinite(xs) & np.isfinite(ys))
+        first_bad = int(np.argmax(bad)) if bad.any() else n
+
+        pos = 0
+        scan_block = 1024
+        while pos < n:
+            inner = self._inner
+            assert inner is not None
+            il = inner.low
+            ih = inner.high
+            tolerance = self._drift_tolerance * ((ih - il) / self._inner_m)
+            # First reallocation trigger at or after pos, scanned in
+            # blocks so a trigger-dense stream stays O(n) overall.
+            boundary = first_bad
+            block = pos
+            while block < first_bad:
+                stop = min(block + scan_block, first_bad)
+                trig = (np.abs(lo_a[block:stop] - il) > tolerance) | (
+                    np.abs(hi_a[block:stop] - ih) > tolerance
+                )
+                if trig.any():
+                    boundary = block + int(np.argmax(trig))
+                    break
+                block = stop
+
+            if boundary > pos:
+                sx = xs[pos:boundary]
+                sy = ys[pos:boundary]
+                is_left = sx < il
+                is_right = sx > ih
+                n_left = int(np.count_nonzero(is_left))
+                n_right = int(np.count_nonzero(is_right))
+                if n_left:
+                    tail = self._left_tail
+                    self._left_tail = Mass(
+                        float(np.cumsum(np.concatenate(((tail.count,), np.ones(n_left))))[-1]),
+                        float(np.cumsum(np.concatenate(((tail.weight,), sy[is_left])))[-1]),
+                    )
+                if n_right:
+                    tail = self._right_tail
+                    self._right_tail = Mass(
+                        float(np.cumsum(np.concatenate(((tail.count,), np.ones(n_right))))[-1]),
+                        float(np.cumsum(np.concatenate(((tail.weight,), sy[is_right])))[-1]),
+                    )
+                in_focus = ~(is_left | is_right)
+                if in_focus.any():
+                    counts, weights = inner.mass_columns()
+                    counts_a = np.asarray(counts)
+                    weights_a = np.asarray(weights)
+                    edges = np.asarray(inner.edges)
+                    idx = np.searchsorted(edges, sx[in_focus], side="right") - 1
+                    np.minimum(idx, len(counts) - 1, out=idx)
+                    np.add.at(counts_a, idx, 1.0)
+                    np.add.at(weights_a, idx, sy[in_focus])
+                    inner.set_mass_columns(counts_a, weights_a)
+
+            if boundary < n:
+                # Sync the moments to the pre-boundary trace entry, then
+                # run the boundary record through the real scalar path:
+                # its push re-derives the trace entry bit-for-bit, and
+                # reallocation (or the non-finite raise) happens exactly
+                # where the scalar loop would have put it.
+                j = boundary - 1
+                if j >= 0:
+                    moments.load(cnt_l[j], mean_l[j], m2_l[j], mn_l[j], mx_l[j])
+                else:
+                    moments.load(*state0)
+                self._absorb(record_at(boundary))
+                pos = boundary + 1
+            else:
+                moments.load(cnt_l[-1], mean_l[-1], m2_l[-1], mn_l[-1], mx_l[-1])
+                pos = n
 
     def _regime_break(self, lo: float, hi: float, old_lo: float, old_hi: float) -> bool:
         # The mean cannot jump without the data moving it: only true

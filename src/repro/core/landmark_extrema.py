@@ -26,14 +26,13 @@ This is the leanest subclass of the shared kernel
 no drift deadband (the region moves only on a new extremum), and a
 purge-as-you-go warmup.  Because the steady-state step is so small —
 compare, maybe shift, add, total — it also carries the kernel's hottest
-``update_many`` loop, with every attribute and bound method resolved once
-per batch.
+columnar path: :meth:`~LandmarkExtremaEstimator._steady_columns`
+vectorises whole chunks (membership masks, one ``searchsorted`` per
+segment, scatter-adds into staged bucket arrays) and drops to the real
+scalar machinery only at region shifts and error boundaries.
 """
 
 from __future__ import annotations
-
-import math
-from bisect import bisect_right
 
 from repro.core.focused import STRATEGIES, FocusedEstimatorBase
 from repro.core.query import CorrelatedQuery
@@ -47,6 +46,7 @@ from repro.histograms.partition import (
 from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
 from repro.obs.sink import ObsSink
 from repro.obs.trace import Tracer
+from repro.streams.columns import HAVE_NUMPY, np
 from repro.streams.model import Record
 
 __all__ = ["LandmarkExtremaEstimator", "STRATEGIES"]
@@ -237,79 +237,144 @@ class LandmarkExtremaEstimator(FocusedEstimatorBase):
             self._after_add()
         # else: monotonicity — the tuple can never qualify; discard.
 
-    def _update_batch(self, records: list[Record], start: int, outputs: list[float]) -> None:
-        # The steady-state step is tiny (compare, maybe shift, add, total),
-        # so per-record attribute resolution dominates: hoist every lookup
-        # and bound method out of the loop, inline the bucket add (the
-        # region check already proved x in range, bar float disagreement
-        # between region and edges, which falls back to the checked path),
-        # and fold ``total().clamped()`` + ``value_from`` into the one sum
-        # the dependent aggregate actually reads.  Histogram bindings are
-        # refreshed only when a region shift or swap replaces the array.
-        if self._tracer.enabled:
-            # Tracing wants the per-tuple answer span; take the generic
-            # (update()-per-record) loop so the spans match the unbatched
-            # path exactly.
-            super()._update_batch(records, start, outputs)
+    # ------------------------------------------------------ columnar kernel
+
+    def _columns_supported(self, collect: str) -> bool:
+        # Tracing wants per-tuple answer spans, and the quantile policy
+        # counts every inner add toward the next merge/split swap; both
+        # need the scalar loop.  Obs sinks are fine: landmark lifecycle
+        # events fire only inside the scalar boundary calls.
+        return HAVE_NUMPY and not self._tracer.enabled and self._policy != "quantile"
+
+    def _steady_columns(self, xs, ys, record_at, outputs, collect: str) -> None:
+        # Chunk plan: precompute the running prior extremum (pure data, so
+        # it stays valid across in-chunk shifts), mark every region shift
+        # and non-finite input as a hard boundary, vectorise the segments
+        # between boundaries (membership masks, searchsorted, sequential
+        # scatter-adds into staged bucket arrays — np.add.at applies
+        # element-by-element in argument order, so float accumulation
+        # matches the scalar loop bit for bit), and push each boundary
+        # record through the real scalar machinery after syncing the
+        # staged mass back into the histogram.
+        n = len(xs)
+        if n == 0:
             return
         query = self._query
         is_min = query.independent == "min"
-        quantile = self._policy == "quantile"
         dep_count = query.dependent == "count"
         dep_sum = query.dependent == "sum"
-        append = outputs.append
-        isfinite = math.isfinite
+        collect_all = collect == "all"
+
+        finite = np.isfinite(xs) & np.isfinite(ys)
+        running = np.minimum.accumulate(xs) if is_min else np.maximum.accumulate(xs)
+        prior = np.empty(n)
+        prior[0] = self._extremum
+        if n > 1:
+            if is_min:
+                np.minimum(running[:-1], self._extremum, out=prior[1:])
+            else:
+                np.maximum(running[:-1], self._extremum, out=prior[1:])
+        shift = (xs < prior) if is_min else (xs > prior)
+        hard = np.flatnonzero(shift | ~finite)
+        hard_pos = 0
+
         inner = self._inner
         assert inner is not None and self._region is not None
-        counts = inner._counts
-        weights = inner._weights
-        edges = inner._edges
+        counts, weights = inner.mass_columns()
+        counts = np.asarray(counts)
+        weights = np.asarray(weights)
+        edges_list = inner.edges
+        edges = np.asarray(edges_list)
+        m = len(counts)
         low, high = self._region
-        extremum = self._extremum
-        for i in range(start, len(records)):
-            record = records[i]
-            x = record.x
-            y = record.y
-            if not (isfinite(x) and isfinite(y)):
-                raise StreamError(f"non-finite record {record!r}")
-            if (x < extremum) if is_min else (x > extremum):
-                self._shift_region(x)
-                inner = self._inner
-                inner.add(x, y)
-                if quantile:
-                    self._after_add()
-                    inner = self._inner
-                counts = inner._counts
-                weights = inner._weights
-                edges = inner._edges
-                extremum = self._extremum
-                low, high = self._region
-            elif low <= x <= high:
-                if edges[0] <= x <= edges[-1]:
-                    index = (
-                        len(counts) - 1 if x == edges[-1] else bisect_right(edges, x) - 1
-                    )
-                    counts[index] += 1.0
-                    weights[index] += y
+
+        pos = 0
+        while pos < n:
+            while hard_pos < len(hard) and hard[hard_pos] < pos:
+                hard_pos += 1
+            seg_end = int(hard[hard_pos]) if hard_pos < len(hard) else n
+            sx = xs[pos:seg_end]
+            sy = ys[pos:seg_end]
+            in_region = (sx >= low) & (sx <= high)
+            # Region and histogram edges can disagree by a float after a
+            # piecemeal truncation; such a record takes locate's checked
+            # error path in the scalar loop, so it is a boundary here too.
+            odd = in_region & ((sx < edges_list[0]) | (sx > edges_list[-1]))
+            boundary = seg_end
+            if odd.any():
+                boundary = pos + int(np.argmax(odd))
+                sx = xs[pos:boundary]
+                sy = ys[pos:boundary]
+                in_region = in_region[: boundary - pos]
+            if boundary > pos:
+                idx = np.searchsorted(edges, sx[in_region], side="right") - 1
+                np.minimum(idx, m - 1, out=idx)
+                if collect_all:
+                    # Per-record totals must re-run the scalar loop's exact
+                    # float sums: per-bucket cumulative series (sequential
+                    # cumsum down the chunk), then the bucket-order
+                    # left-to-right accumulation sum() performs.
+                    seg_n = boundary - pos
+                    full_idx = np.full(seg_n, -1, dtype=np.int64)
+                    full_idx[in_region] = idx
+                    onehot = full_idx[:, None] == np.arange(m)[None, :]
+                    series_c = np.cumsum(
+                        np.vstack([counts[None, :], onehot.astype(np.float64)]),
+                        axis=0,
+                    )[1:]
+                    series_w = np.cumsum(
+                        np.vstack(
+                            [weights[None, :], np.where(onehot, sy[:, None], 0.0)]
+                        ),
+                        axis=0,
+                    )[1:]
+                    counts = series_c[-1].copy()
+                    weights = series_w[-1].copy()
+                    if dep_count or not dep_sum:
+                        total_c = series_c[:, 0].copy()
+                        for j in range(1, m):
+                            total_c += series_c[:, j]
+                    if dep_sum or not dep_count:
+                        total_w = series_w[:, 0].copy()
+                        for j in range(1, m):
+                            total_w += series_w[:, j]
+                    if dep_count:
+                        out = np.where(total_c >= 0.0, total_c, 0.0)
+                    elif dep_sum:
+                        out = np.where(total_w >= 0.0, total_w, 0.0)
+                    else:
+                        out = np.where(
+                            total_c > 0.0,
+                            np.where(total_w >= 0.0, total_w, 0.0)
+                            / np.where(total_c > 0.0, total_c, 1.0),
+                            0.0,
+                        )
+                    outputs.extend(out.tolist())
                 else:
-                    inner.add(x, y)  # out of histogram range: locate's error path
-                if quantile:
-                    self._after_add()
-                    inner = self._inner
-                    counts = inner._counts
-                    weights = inner._weights
-                    edges = inner._edges
-            # else: monotonicity — the tuple can never qualify; discard.
-            if dep_count:
-                c = sum(counts)
-                append(c if c >= 0.0 else 0.0)
-            elif dep_sum:
-                w = sum(weights)
-                append(w if w >= 0.0 else 0.0)
+                    np.add.at(counts, idx, 1.0)
+                    np.add.at(weights, idx, sy[in_region])
+            if boundary >= n:
+                break
+            # Boundary record: sync staged mass, run the scalar step (region
+            # shift with its obs events and reallocation, or the identical
+            # StreamError/HistogramError raise), then re-stage.
+            inner.set_mass_columns(counts, weights)
+            record = record_at(boundary)
+            if collect_all:
+                outputs.append(self.update(record))
             else:
-                c = sum(counts)
-                w = sum(weights)
-                append((w if w >= 0.0 else 0.0) / c if c > 0.0 else 0.0)
+                self._absorb(record)
+            inner = self._inner
+            assert inner is not None
+            counts, weights = inner.mass_columns()
+            counts = np.asarray(counts)
+            weights = np.asarray(weights)
+            edges_list = inner.edges
+            edges = np.asarray(edges_list)
+            low, high = self._region
+            pos = boundary + 1
+        assert inner is not None
+        inner.set_mass_columns(counts, weights)
 
     # ------------------------------------------------------------- merging
 

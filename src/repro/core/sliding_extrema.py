@@ -30,6 +30,8 @@ own routing, reallocation (with the clamp-back spill conservation), and
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.core.focused import STRATEGIES, FocusedEstimatorBase, RingWindowMixin
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
@@ -39,6 +41,7 @@ from repro.histograms.partition import quantile_boundaries_from_values, uniform_
 from repro.histograms.reallocate import piecemeal_reallocate, wholesale_reallocate
 from repro.obs.sink import ObsSink
 from repro.obs.trace import Tracer
+from repro.streams.columns import HAVE_NUMPY, np
 from repro.streams.model import Record
 from repro.structures.intervals import IntervalExtremaTracker
 
@@ -217,6 +220,369 @@ class SlidingExtremaEstimator(RingWindowMixin, FocusedEstimatorBase):
         if self._mode == "min":
             return abs(lo - self._inner.low) > deadband or threshold > self._inner.high
         return abs(hi - self._inner.high) > deadband or threshold < self._inner.low
+
+    # --------------------------------------------------- columnar kernel
+
+    def _columns_supported(self, collect: str) -> bool:
+        # collect="all" would need a per-record estimate_leq interpolation;
+        # obs sinks see per-record window.expire events — both stay on the
+        # scalar loop.
+        return (
+            HAVE_NUMPY
+            and collect != "all"
+            and not self._tracer.enabled
+            and not self._obs.enabled
+            and self._policy != "quantile"
+        )
+
+    def _steady_columns(self, xs, ys, record_at, outputs, collect: str) -> None:
+        """Vectorised steady-state ingestion for the sliding-extrema scope.
+
+        A pure-Python replay of both interval trackers produces the
+        per-record ``extremum()``/``worst_local()`` trace (the folds are
+        maintained incrementally: recomputed at interval turnover, one
+        comparison per record otherwise — bit-identical to the tracker's
+        left folds).  Eviction is resolved from a history array (the
+        pre-chunk ring contents followed by the chunk itself): record
+        ``i`` evicts history entry ``s + i - w``.  Between boundary
+        records (reallocation triggers, periodic-rebuild countdowns,
+        negative extrema, non-finite inputs) the region is static, so
+        each segment's remove/add pairs are interleaved into one
+        unbuffered scatter over a combined accounts array — fine buckets,
+        the catch-all tail, and a no-op scratch slot — preserving the
+        scalar loop's per-account operation order exactly.  Tracker
+        snapshots every few hundred records keep boundary syncs cheap.
+        """
+        n = len(xs)
+        mode_min = self._mode == "min"
+        better = min if mode_min else max
+        worse = max if mode_min else min
+        tracked = self._tracked
+        opposite = self._opposite
+        ilen = tracked._interval_length
+        kmax = tracked._max_intervals
+        ts0 = tracked._total_seen
+        loc_t = list(tracked._locals)
+        cur_t = tracked._current
+        loc_o = list(opposite._locals)
+        cur_o = opposite._current
+        # Both trackers share window/num_intervals and see every push, so
+        # one interval countdown serves both.
+        cnt_c = tracked._current_count
+
+        def fold(values, f):
+            if not values:
+                return None
+            acc = values[0]
+            for v in values[1:]:
+                acc = f(acc, v)
+            return acc
+
+        best_t = fold(loc_t, better)
+        worst_t = fold(loc_t, worse)
+        ext_l: list[float] = []
+        worst_l: list[float] = []
+        ap_ext = ext_l.append
+        ap_worst = worst_l.append
+        snap_every = 256
+        snaps: list[tuple] = []
+        xl = xs.tolist()
+        # The trace loop is the kernel's Python hot path, so the min/max
+        # folds are specialised per mode into plain comparisons (the
+        # builtins' tie behaviour — keep the left operand on <=/>= — is
+        # preserved exactly).  Entries at or past the first non-finite
+        # input diverge from the scalar path (which never pushes such a
+        # value); they are never read, because the chunk is cut there.
+        for i, x in enumerate(xl):
+            if not i % snap_every:
+                snaps.append((tuple(loc_t), cur_t, tuple(loc_o), cur_o, cnt_c))
+            if cur_t is None:
+                cur_t = x
+                cur_o = x
+            elif mode_min:
+                if x < cur_t:
+                    cur_t = x
+                if x > cur_o:
+                    cur_o = x
+            else:
+                if x > cur_t:
+                    cur_t = x
+                if x < cur_o:
+                    cur_o = x
+            cnt_c += 1
+            if cnt_c == ilen:
+                loc_t.append(cur_t)
+                loc_o.append(cur_o)
+                cur_t = None
+                cur_o = None
+                cnt_c = 0
+                while len(loc_t) > kmax:
+                    loc_t.pop(0)
+                while len(loc_o) > kmax:
+                    loc_o.pop(0)
+                best_t = fold(loc_t, better)
+                worst_t = fold(loc_t, worse)
+                ap_ext(best_t)
+                ap_worst(worst_t)
+            elif best_t is None:
+                ap_ext(cur_t)
+                ap_worst(cur_t)
+            elif mode_min:
+                ap_ext(best_t if best_t <= cur_t else cur_t)
+                ap_worst(worst_t if worst_t >= cur_t else cur_t)
+            else:
+                ap_ext(best_t if best_t >= cur_t else cur_t)
+                ap_worst(worst_t if worst_t <= cur_t else cur_t)
+
+        ext_a = np.asarray(ext_l)
+        worst_a = np.asarray(worst_l)
+        one_eps = 1.0 + self._query.epsilon
+        # _target_interval, op for op.  Entries at/past the non-finite cut
+        # below are never read, so their NaN arithmetic warnings are noise.
+        with np.errstate(invalid="ignore", over="ignore"):
+            if mode_min:
+                lo_a = ext_a
+                hi_raw = one_eps * worst_a
+            else:
+                lo_a = worst_a / one_eps
+                hi_raw = ext_a
+            hi_a = np.where(
+                hi_raw <= lo_a, lo_a + np.maximum(np.abs(lo_a) * 1e-9, 1e-12), hi_raw
+            )
+
+        bad = ~(np.isfinite(xs) & np.isfinite(ys))
+        limit = int(np.argmax(bad)) if bad.any() else n
+        neg = ext_a[:limit] < 0.0
+        if neg.any():
+            limit = int(np.argmax(neg))
+
+        # Eviction history: the live window before the chunk, then the
+        # chunk itself.  Chunk sides are filled segment by segment.
+        pre = [cell for cell in self._ring]
+        s0 = len(pre)
+        w = self._window
+        hx = np.concatenate(
+            (np.fromiter((c[0].x for c in pre), dtype=np.float64, count=s0), xs)
+        )
+        hy = np.concatenate(
+            (np.fromiter((c[0].y for c in pre), dtype=np.float64, count=s0), ys)
+        )
+        hside = np.empty(s0 + n, dtype=np.int8)
+        hside[:s0] = np.fromiter(
+            ((0 if c[1] == "I" else 1) for c in pre), dtype=np.int8, count=s0
+        )
+
+        def sync_trackers(upto: int) -> None:
+            """Restore both live trackers to the state after ``upto`` chunk
+            records (snapshot + replay, bit-identical by determinism)."""
+            q = min(upto // snap_every, len(snaps) - 1)
+            lt, ct, lo_, co, cc = snaps[q]
+            lt = list(lt)
+            lo_ = list(lo_)
+            for j in range(q * snap_every, upto):
+                xj = xl[j]
+                ct = xj if ct is None else better(ct, xj)
+                co = xj if co is None else worse(co, xj)
+                cc += 1
+                if cc == ilen:
+                    lt.append(ct)
+                    lo_.append(co)
+                    ct = None
+                    co = None
+                    cc = 0
+                    while len(lt) > kmax:
+                        lt.pop(0)
+                    while len(lo_) > kmax:
+                        lo_.pop(0)
+            tracked._locals = deque(lt)
+            tracked._current = ct
+            tracked._current_count = cc
+            tracked._total_seen = ts0 + upto
+            opposite._locals = deque(lo_)
+            opposite._current = co
+            opposite._current_count = cc
+            opposite._total_seen = ts0 + upto
+
+        def sync_ring(upto: int) -> None:
+            """Rebuild the live window as of ``upto`` chunk records from
+            the history arrays."""
+            keep = min(w, s0 + upto)
+            start = s0 + upto - keep
+            stop = s0 + upto
+            self._ring.load(
+                [
+                    [Record(x, y), "I" if side == 0 else "T"]
+                    for x, y, side in zip(
+                        hx[start:stop].tolist(),
+                        hy[start:stop].tolist(),
+                        hside[start:stop].tolist(),
+                    )
+                ]
+            )
+
+        pos = 0
+        scan_block = 1024
+        while pos < n:
+            inner = self._inner
+            assert inner is not None
+            il = inner.low
+            ih = inner.high
+            m = inner.num_buckets
+            deadband = self._drift_tolerance * ((ih - il) / self._inner_m)
+            ssr0 = self._steps_since_rebuild
+            # First boundary at or after pos: reallocation trigger,
+            # periodic-rebuild countdown, or the non-finite/negative cut.
+            boundary = limit
+            if self._rebuild_period:
+                boundary = min(
+                    boundary, pos + max(self._rebuild_period - ssr0 - 1, 0)
+                )
+            block = pos
+            while block < boundary:
+                stop = min(block + scan_block, boundary)
+                if mode_min:
+                    trig = (np.abs(lo_a[block:stop] - il) > deadband) | (
+                        one_eps * ext_a[block:stop] > ih
+                    )
+                else:
+                    trig = (np.abs(hi_a[block:stop] - ih) > deadband) | (
+                        ext_a[block:stop] / one_eps < il
+                    )
+                if trig.any():
+                    boundary = block + int(np.argmax(trig))
+                    break
+                block = stop
+
+            if boundary > pos:
+                seg_len = boundary - pos
+                seg_x = xs[pos:boundary]
+                seg_y = ys[pos:boundary]
+                edges = np.asarray(inner.edges)
+                in_focus = (seg_x <= ih) if mode_min else (seg_x >= il)
+                loc_idx = np.searchsorted(edges, np.clip(seg_x, il, ih), side="right") - 1
+                np.minimum(loc_idx, m - 1, out=loc_idx)
+                add_idx = np.where(in_focus, loc_idx, m)
+                hside[s0 + pos : s0 + boundary] = np.where(in_focus, 0, 1).astype(np.int8)
+                rm_idx = np.full(seg_len, m + 1, dtype=np.int64)
+                rm_c = np.zeros(seg_len)
+                rm_w = np.zeros(seg_len)
+                first_ev = max(pos, w - s0)
+                if first_ev < boundary:
+                    h_lo = s0 + first_ev - w
+                    h_hi = s0 + boundary - w
+                    ev_y = hy[h_lo:h_hi]
+                    ev_in = hside[h_lo:h_hi] == 0
+                    ev_loc = (
+                        np.searchsorted(
+                            edges, np.clip(hx[h_lo:h_hi], il, ih), side="right"
+                        )
+                        - 1
+                    )
+                    np.minimum(ev_loc, m - 1, out=ev_loc)
+                    sl = slice(first_ev - pos, seg_len)
+                    rm_idx[sl] = np.where(ev_in, ev_loc, m)
+                    rm_c[sl] = -1.0
+                    rm_w[sl] = -ev_y
+                counts, weights = inner.mass_columns()
+                acc_c = np.concatenate((counts, (self._tail.count, 0.0)))
+                acc_w = np.concatenate((weights, (self._tail.weight, 0.0)))
+                idx2 = np.empty(2 * seg_len, dtype=np.int64)
+                idx2[0::2] = rm_idx
+                idx2[1::2] = add_idx
+                val_c = np.empty(2 * seg_len)
+                val_c[0::2] = rm_c
+                val_c[1::2] = 1.0
+                val_w = np.empty(2 * seg_len)
+                val_w[0::2] = rm_w
+                val_w[1::2] = seg_y
+                np.add.at(acc_c, idx2, val_c)
+                np.add.at(acc_w, idx2, val_w)
+                inner.set_mass_columns(acc_c[:m], acc_w[:m])
+                self._tail = Mass(float(acc_c[m]), float(acc_w[m]))
+                self._steps_since_rebuild = ssr0 + seg_len
+
+            if boundary < n:
+                if boundary == limit:
+                    # Non-finite input or negative extremum: full sync,
+                    # then the real scalar path — which raises exactly
+                    # where (and with exactly the partial state) the
+                    # scalar loop would.
+                    sync_trackers(boundary)
+                    sync_ring(boundary)
+                    self._absorb(record_at(boundary))
+                    hside[s0 + boundary] = (
+                        0 if self._ring.newest()[1] == "I" else 1
+                    )
+                else:
+                    self._boundary_step(
+                        boundary, s0, hx, hy, hside, record_at, sync_trackers, sync_ring
+                    )
+                pos = boundary + 1
+            else:
+                pos = n
+
+        # End of chunk: install the final tracker states and rebuild the
+        # live window from the history tail.
+        tracked._locals = deque(loc_t)
+        tracked._current = cur_t
+        tracked._current_count = cnt_c
+        tracked._total_seen = ts0 + n
+        opposite._locals = deque(loc_o)
+        opposite._current = cur_o
+        opposite._current_count = cnt_c
+        opposite._total_seen = ts0 + n
+        sync_ring(n)
+
+    def _boundary_step(
+        self, t: int, s0: int, hx, hy, hside, record_at, sync_trackers, sync_ring
+    ) -> None:
+        """One boundary record through the scalar machinery, ring deferred.
+
+        Replays :meth:`update`'s step for chunk record ``t`` — tracker
+        sync stands in for the pushes, the eviction comes from the
+        history arrays instead of a ring push — calling the real policy
+        hooks (``_target_interval``, ``_should_reallocate``,
+        ``_reallocate``, ``_route_add``) in the scalar order.  The live
+        ring is only materialised when a rebuild is about to scan it
+        (periodic countdown, or a regime jump — predicted with the same
+        near-disjoint expression ``_reallocate`` evaluates); ordinary
+        reallocations never touch it, which keeps trigger-dense streams
+        off the O(w) resync path.
+        """
+        sync_trackers(t + 1)
+        w = self._window
+        if s0 + t >= w:
+            h = s0 + t - w
+            self._route_remove(
+                Record(float(hx[h]), float(hy[h])),
+                "I" if hside[h] == 0 else "T",
+            )
+        lo, hi = self._target_interval()
+        self._steps_since_rebuild += 1
+        rebuilt = False
+        if self._rebuild_period and self._steps_since_rebuild >= self._rebuild_period:
+            sync_ring(t + 1)  # the rebuild scans the live window
+            self._rebuild_from_window(lo, hi, reason="periodic")
+            rebuilt = True
+        elif self._should_reallocate(lo, hi):
+            assert self._inner is not None
+            old_lo, old_hi = self._inner.low, self._inner.high
+            overlap = min(hi, old_hi) - max(lo, old_lo)
+            union = max(hi, old_hi) - min(lo, old_lo)
+            if overlap <= 0.25 * union:
+                sync_ring(t + 1)  # the regime rebuild scans the live window
+            self._reallocate(lo, hi)
+            rebuilt = self._steps_since_rebuild == 0
+        if rebuilt:
+            # The reseed re-routed every live record (including this
+            # one): re-import the sides it assigned.
+            live = len(self._ring)
+            base = s0 + t + 1 - live
+            for off, cell in enumerate(self._ring):
+                hside[base + off] = 0 if cell[1] == "I" else 1
+        else:
+            side = self._route_add(record_at(t))
+            hside[s0 + t] = 0 if side == "I" else 1
 
     def _reallocate(self, lo: float, hi: float) -> None:
         assert self._inner is not None

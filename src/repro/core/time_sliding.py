@@ -40,7 +40,8 @@ from repro.exceptions import ConfigurationError, StreamError
 from repro.histograms.partition import uniform_boundaries
 from repro.obs.sink import ObsSink
 from repro.obs.trace import Tracer
-from repro.streams.model import Record, ensure_finite
+from repro.streams.columns import as_columns
+from repro.streams.model import Record, check_collect, ensure_finite
 from repro.structures.time_intervals import TimeIntervalExtremaTracker
 from repro.structures.welford import RunningMoments
 
@@ -235,6 +236,11 @@ class TimeSlidingEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
         ``time`` must be non-decreasing; every tuple older than
         ``time - duration`` expires before the new one is placed.
         """
+        self._absorb_timed(time, record)
+        return self.estimate()
+
+    def _absorb_timed(self, time: float, record: Record) -> None:
+        """The timestamped step without the estimate: validate, place, expire."""
         record = record if isinstance(record, Record) else Record(*record)
         ensure_finite(record)
         if not math.isfinite(time):
@@ -256,7 +262,7 @@ class TimeSlidingEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
         if self._inner is None:
             if len(self._live) >= self._warmup_target:
                 self._rebuild_from_window(*self._target_interval(), reason="warmup")
-            return self.estimate()
+            return
 
         lo, hi = self._target_interval()
         self._steps_since_rebuild += 1
@@ -266,18 +272,58 @@ class TimeSlidingEstimator(TwoTailSummaryMixin, FocusedEstimatorBase):
             self._reallocate(lo, hi)
         if cell[2] is None:
             cell[2] = self._route_add(record)
-        return self.estimate()
 
-    def update_many_timed(self, timed: Iterable[tuple[float, Record]]) -> list[float]:
-        """Consume a chunk of ``(time, record)`` pairs; one estimate each.
+    def update_many_timed(
+        self, timed: Iterable[tuple[float, Record]], collect: str = "all"
+    ) -> list[float]:
+        """Consume a chunk of ``(time, record)`` pairs.
 
         The timestamped step is dominated by the variable-length expiry
-        drain, so there is no hoisted fast loop — this is the exact batch
-        transcription of :meth:`update` (``update_many`` on this class
-        raises, pointing here).
+        drain, so there is no vectorised fast path — this is the exact
+        batch transcription of :meth:`update` (``update_many`` on this
+        class raises, pointing here).  ``collect`` follows the kernel
+        convention: ``"all"`` returns one estimate per pair, ``"last"``
+        just the final estimate, ``"none"`` skips estimation entirely.
         """
-        update = self.update
-        return [update(time, record) for time, record in timed]
+        check_collect(collect)
+        absorb = self._absorb_timed
+        if collect == "all":
+            estimate = self.estimate
+            outputs = []
+            for time, record in timed:
+                absorb(time, record)
+                outputs.append(estimate())
+            return outputs
+        consumed = False
+        for time, record in timed:
+            absorb(time, record)
+            consumed = True
+        if collect == "last" and consumed:
+            return [self.estimate()]
+        return []
+
+    def update_columns_timed(
+        self, times, xs, ys=None, collect: str = "all"
+    ) -> list[float]:
+        """Columnar timed entry: parallel ``times``/``xs``/``ys`` columns.
+
+        Accepts sequences or numpy arrays; ``ys`` defaults to unit
+        weights.  Tuples are materialised lazily from the columns and run
+        through the scalar timestamped step — the expiry drain's
+        variable length rules out the count-window vectorised kernels,
+        but the columnar signature keeps the transport symmetric with
+        :meth:`~repro.streams.model.StreamAlgorithm.update_columns` so
+        sharded/batched pipelines can hand every family the same arrays.
+        """
+        check_collect(collect)
+        col_x, col_y = as_columns(xs, ys)
+        t_list = times.tolist() if hasattr(times, "tolist") else [float(t) for t in times]
+        if len(t_list) != len(col_x):
+            raise ConfigurationError(
+                f"times and xs have mismatched lengths: {len(t_list)} != {len(col_x)}"
+            )
+        pairs = zip(t_list, map(Record, col_x.tolist(), col_y.tolist()))
+        return self.update_many_timed(pairs, collect=collect)
 
     def _extra_gauges(self) -> dict[str, float]:
         gauges = super()._extra_gauges()

@@ -84,9 +84,13 @@ def _replay(
 
     Without a registry the records go through ``update_many`` (in
     ``batch_size`` chunks when given, one batch otherwise) — the batched
-    path is parity-tested to transcribe the scalar loop exactly.  With a
-    registry the scalar loop is kept: per-update latency profiling *is*
-    the point there, and wrapping the clock around a batch would hide it.
+    path is parity-tested to transcribe the scalar loop exactly.  The
+    tracker always wants ``collect="all"`` (the default): its whole
+    output is the per-record estimate series the error metrics consume,
+    so the lean ``"last"``/``"none"`` modes the sharded workers and
+    benchmarks use would defeat it here.  With a registry the scalar
+    loop is kept: per-update latency profiling *is* the point there, and
+    wrapping the clock around a batch would hide it.
     """
     if registry is None:
         update_many = getattr(estimator, "update_many", None)

@@ -27,6 +27,11 @@ from typing import NamedTuple
 
 from repro.exceptions import ConfigurationError, HistogramError
 
+try:  # pragma: no cover - exercised indirectly by both test paths
+    import numpy as np
+except ImportError:  # pragma: no cover - scalar fallback stays available
+    np = None  # type: ignore[assignment]
+
 
 class Mass(NamedTuple):
     """A (count, weight) pair — COUNT and SUM(y) mass of a region."""
@@ -152,6 +157,58 @@ class BucketArray:
         """Pour raw mass into bucket ``index`` (used by reallocation)."""
         self._counts[index] += mass.count
         self._weights[index] += mass.weight
+
+    def add_many(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Add a column of tuples: exactly ``add(x, y)`` per pair, in order.
+
+        Vectorised when numpy is available — one ``searchsorted`` plus
+        sequential scatter-adds (``np.add.at`` applies element-by-element
+        in argument order, so float accumulation matches the scalar loop
+        bit for bit).  The first out-of-range value raises the same
+        :class:`HistogramError` ``add`` would, with every preceding pair
+        already applied.
+        """
+        if np is None:
+            for x, y in zip(xs, ys):
+                self.add(x, y)
+            return
+        vx = np.asarray(xs, dtype=np.float64)
+        vy = np.asarray(ys, dtype=np.float64)
+        lo, hi = self._edges[0], self._edges[-1]
+        bad = ~((vx >= lo) & (vx <= hi))
+        stop = int(np.argmax(bad)) if bad.any() else len(vx)
+        if stop:
+            idx = np.searchsorted(np.asarray(self._edges), vx[:stop], side="right") - 1
+            np.minimum(idx, len(self._counts) - 1, out=idx)
+            counts = np.asarray(self._counts)
+            weights = np.asarray(self._weights)
+            np.add.at(counts, idx, 1.0)
+            np.add.at(weights, idx, vy[:stop])
+            self._counts = counts.tolist()
+            self._weights = weights.tolist()
+        if stop < len(vx):
+            raise HistogramError(
+                f"value {float(vx[stop])!r} outside histogram range [{lo}, {hi}]"
+            )
+
+    def mass_columns(self) -> tuple[list[float], list[float]]:
+        """``(counts, weights)`` as parallel lists — staging copies for
+        batch kernels to mirror into flat arrays."""
+        return list(self._counts), list(self._weights)
+
+    def set_mass_columns(
+        self, counts: Sequence[float], weights: Sequence[float]
+    ) -> None:
+        """Install batch-staged per-bucket mass (inverse of
+        :meth:`mass_columns`; lengths must match the bucket count)."""
+        k = len(self._counts)
+        if len(counts) != k or len(weights) != k:
+            raise HistogramError(
+                f"mass columns must have {k} entries, got "
+                f"{len(counts)}/{len(weights)}"
+            )
+        self._counts = [float(c) for c in counts]
+        self._weights = [float(w) for w in weights]
 
     # ------------------------------------------------------------ queries
 

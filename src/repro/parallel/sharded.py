@@ -20,9 +20,16 @@ sliding queries (and ``time_window=``) are rejected up front.
 
 IPC protocol: one input queue per shard (records travel in batched
 chunks; per-shard FIFO makes the query message a natural barrier) and one
-shared output queue.  Workers receive their estimator as an explicit
-pickle payload, so construction is identical — and tested — under both
-``fork`` and ``spawn`` start methods.
+shared output queue.  Chunks travel **columnar**: two flat float64
+columns per chunk (:func:`~repro.streams.columns.records_to_columns`)
+instead of ``chunk_size`` pickled ``Record`` tuples, and each worker
+feeds them straight into its estimator's ``update_columns`` kernel with
+``collect="none"`` — no per-record estimates, no per-record objects on
+the wire.  Workers still accept legacy list-of-records chunks, so a
+coordinator and workers from different versions interoperate.  Workers
+receive their estimator as an explicit pickle payload, so construction
+is identical — and tested — under both ``fork`` and ``spawn`` start
+methods.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.exceptions import ConfigurationError, StreamError
 from repro.obs.sink import NULL_SINK, ObsSink
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.partition import RangePartitioner, RoundRobinPartitioner, make_partitioner
+from repro.streams.columns import records_to_columns
 from repro.streams.model import Record
 
 __all__ = ["ShardedIngestor"]
@@ -56,8 +64,16 @@ def _shard_worker(shard_id: int, payload: bytes, in_queue, out_queue) -> None:
             message = in_queue.get()
             tag = message[0]
             if tag == "chunk":
-                estimator.update_many(message[1])
-                ingested += len(message[1])
+                payload = message[1]
+                if isinstance(payload, tuple):
+                    # Columnar chunk: (xs, ys) flat float columns.
+                    xs, ys = payload
+                    estimator.update_columns(xs, ys, collect="none")
+                    ingested += len(xs)
+                else:
+                    # Legacy chunk: a list of Record tuples.
+                    estimator.update_many(payload, collect="none")
+                    ingested += len(payload)
             elif tag == "query":
                 out_queue.put(("summary", shard_id, estimator, ingested))
             elif tag == "stop":
@@ -282,7 +298,7 @@ class ShardedIngestor:
         buffer = self._buffers[shard]
         if not buffer:
             return
-        self._queues[shard].put(("chunk", buffer))
+        self._queues[shard].put(("chunk", records_to_columns(buffer)))
         self._sent[shard] += len(buffer)
         self._buffers[shard] = []
 

@@ -1,0 +1,91 @@
+"""Columnar record chunks: parallel arrays of x and y values.
+
+The columnar ingestion path (``update_columns`` on every stream
+algorithm) moves records through the system as two flat float columns
+instead of one ``Record`` object per tuple.  numpy backs the columns
+when it is importable — the vectorised family kernels in
+``repro.core`` require it — and the stdlib ``array`` module provides a
+dependency-free fallback that keeps the API (and the sharded chunk
+transport) working with plain scalar ingestion underneath.
+
+Nothing here changes estimator semantics: columns are a transport and
+staging format, and every conversion back to :class:`Record` goes
+through Python floats so downstream state never holds numpy scalars.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.streams.model import Record
+
+try:  # pragma: no cover - exercised indirectly by both test paths
+    import numpy as np
+except ImportError:  # pragma: no cover - the array-module fallback
+    np = None  # type: ignore[assignment]
+
+#: Whether the vectorised kernels can run at all in this interpreter.
+HAVE_NUMPY = np is not None
+
+ColumnPair = tuple["Sequence[float]", "Sequence[float]"]
+
+
+def as_columns(xs: Iterable[float], ys: Iterable[float] | None = None) -> ColumnPair:
+    """Coerce ``xs``/``ys`` into a pair of equal-length float64 columns.
+
+    ``ys=None`` means every tuple carries the default measure weight of
+    1.0 (mirroring ``Record``'s default ``y``).  Returns numpy arrays
+    when numpy is available, ``array('d')`` columns otherwise.
+    """
+    if HAVE_NUMPY:
+        x_col = np.asarray(xs, dtype=np.float64)
+        if x_col.ndim != 1:
+            raise ConfigurationError(
+                f"x column must be one-dimensional, got shape {x_col.shape}"
+            )
+        if ys is None:
+            y_col = np.ones(len(x_col), dtype=np.float64)
+        else:
+            y_col = np.asarray(ys, dtype=np.float64)
+            if y_col.ndim != 1:
+                raise ConfigurationError(
+                    f"y column must be one-dimensional, got shape {y_col.shape}"
+                )
+    else:
+        x_col = xs if isinstance(xs, array) and xs.typecode == "d" else (
+            array("d", [float(v) for v in xs])
+        )
+        if ys is None:
+            y_col = array("d", [1.0]) * len(x_col)
+        else:
+            y_col = ys if isinstance(ys, array) and ys.typecode == "d" else (
+                array("d", [float(v) for v in ys])
+            )
+    if len(x_col) != len(y_col):
+        raise ConfigurationError(
+            f"column length mismatch: {len(x_col)} x values vs {len(y_col)} y values"
+        )
+    return x_col, y_col
+
+
+def columns_to_records(xs: Sequence[float], ys: Sequence[float]) -> list[Record]:
+    """Materialise a column pair as ``Record`` objects (Python floats)."""
+    if HAVE_NUMPY and isinstance(xs, np.ndarray):
+        return [Record(x, y) for x, y in zip(xs.tolist(), ys.tolist())]
+    return [Record(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def records_to_columns(records: Sequence[Record]) -> ColumnPair:
+    """Split records into an (xs, ys) column pair.
+
+    The inverse of :func:`columns_to_records`; the sharded transport
+    uses it to ship chunks as two flat arrays instead of n pickled
+    ``Record`` tuples.
+    """
+    if HAVE_NUMPY:
+        xs = np.fromiter((r.x for r in records), dtype=np.float64, count=len(records))
+        ys = np.fromiter((r.y for r in records), dtype=np.float64, count=len(records))
+        return xs, ys
+    return array("d", (r.x for r in records)), array("d", (r.y for r in records))

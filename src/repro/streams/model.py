@@ -17,10 +17,22 @@ import math
 from collections.abc import Iterable, Iterator
 from typing import TYPE_CHECKING, NamedTuple, Protocol, runtime_checkable
 
-from repro.exceptions import StreamError
+from repro.exceptions import ConfigurationError, StreamError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
+
+#: Valid ``collect=`` modes for batched ingestion.
+COLLECT_MODES = ("all", "last", "none")
+
+
+def check_collect(collect: str) -> None:
+    """Validate a ``collect=`` argument with a did-you-mean error."""
+    if collect not in COLLECT_MODES:
+        raise ConfigurationError(
+            f"unknown collect mode {collect!r}; choose one of "
+            f"{', '.join(COLLECT_MODES)}"
+        )
 
 
 class Record(NamedTuple):
@@ -55,17 +67,41 @@ class StreamAlgorithm(Protocol):
         """Consume ``S_in[i]`` and return ``S_out[i]``."""
         ...
 
-    def update_many(self, records: Iterable[Record]) -> list[float]:
-        """Consume a chunk of records; return ``S_out`` for each.
+    def update_many(
+        self, records: Iterable[Record], collect: str = "all"
+    ) -> list[float]:
+        """Consume a chunk of records; return outputs per ``collect``.
 
-        Must be exactly equivalent to ``[self.update(r) for r in records]``
-        — batching is an ingestion fast path, never a semantic change.
+        ``collect="all"`` (the default) must be exactly equivalent to
+        ``[self.update(r) for r in records]`` — batching is an ingestion
+        fast path, never a semantic change.  ``"last"`` ingests the whole
+        chunk but returns only the final output (``[]`` on an empty
+        chunk); ``"none"`` always returns ``[]``.  Both relaxed modes
+        leave the summary in the identical post-chunk state and let
+        implementations skip per-record answer extraction, avoiding the
+        O(n) output list on million-tuple batches.
+        """
+        ...
+
+    def update_columns(
+        self,
+        xs: "Iterable[float]",
+        ys: "Iterable[float] | None" = None,
+        collect: str = "all",
+    ) -> list[float]:
+        """Consume a columnar chunk: parallel arrays of x and y values.
+
+        Equivalent to ``update_many([Record(x, y) for x, y in zip(xs, ys)],
+        collect)`` with ``ys=None`` meaning y=1.0 throughout.  Columnar
+        implementations may route the arrays through vectorised kernels
+        instead of materialising records.
         """
         ...
 
 
 class BatchedIngest:
-    """Default ``update_many`` for algorithms without a native batch path.
+    """Default ``update_many``/``update_columns`` for algorithms without a
+    native batch path.
 
     Mixing this in satisfies the :class:`StreamAlgorithm` batch contract
     with a straight transcription of the scalar loop (plus the same tuple
@@ -73,12 +109,36 @@ class BatchedIngest:
     without caring which algorithms have a hand-tuned fast loop.
     """
 
-    def update_many(self, records: Iterable[Record]) -> list[float]:
+    def update_many(
+        self, records: Iterable[Record], collect: str = "all"
+    ) -> list[float]:
         """Consume a chunk of records via the scalar ``update`` loop."""
+        check_collect(collect)
         update = self.update  # type: ignore[attr-defined]
-        return [
-            update(r if isinstance(r, Record) else Record(*r)) for r in records
-        ]
+        if collect == "all":
+            return [
+                update(r if isinstance(r, Record) else Record(*r)) for r in records
+            ]
+        value = None
+        seen = False
+        for r in records:
+            value = update(r if isinstance(r, Record) else Record(*r))
+            seen = True
+        if collect == "last" and seen:
+            return [value]
+        return []
+
+    def update_columns(
+        self,
+        xs: Iterable[float],
+        ys: Iterable[float] | None = None,
+        collect: str = "all",
+    ) -> list[float]:
+        """Consume a columnar chunk via the scalar ``update`` loop."""
+        from repro.streams.columns import as_columns, columns_to_records
+
+        x_col, y_col = as_columns(xs, ys)
+        return self.update_many(columns_to_records(x_col, y_col), collect=collect)
 
 
 @runtime_checkable

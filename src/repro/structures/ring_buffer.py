@@ -58,6 +58,37 @@ class RingBuffer(Generic[T]):
         self._items[end] = item
         return evicted
 
+    def push_many(self, items: "list[T]") -> "list[T]":
+        """Append a batch of items; return the evicted items in order.
+
+        Exactly the :meth:`push` loop — the return value collects the
+        non-``None`` evictions, oldest first.
+        """
+        evicted: list[T] = []
+        push = self.push
+        for item in items:
+            out = push(item)
+            if out is not None:
+                evicted.append(out)
+        return evicted
+
+    def load(self, items: "list[T]") -> None:
+        """Replace the whole contents with ``items`` (oldest first).
+
+        Bulk assignment for the columnar kernels: after a vectorised
+        segment the live window is exactly the last ``len(items)`` history
+        entries, so the buffer is rebuilt in one shot instead of ``n``
+        pushes.  ``items`` must fit the capacity.
+        """
+        if len(items) > self._capacity:
+            raise ConfigurationError(
+                f"cannot load {len(items)} items into a RingBuffer of "
+                f"capacity {self._capacity}"
+            )
+        self._items = list(items) + [None] * (self._capacity - len(items))
+        self._start = 0
+        self._size = len(items)
+
     def oldest(self) -> T:
         """The item that would be evicted next."""
         if self._size == 0:

@@ -1,0 +1,279 @@
+"""Batch-vs-scalar golden parity for the columnar ingestion kernels.
+
+``update_columns`` (and the timed variant on the time-window estimator)
+must be a float-for-float transcription of the scalar ``update`` loop:
+same per-record outputs under ``collect="all"``, same final estimate and
+internal state under ``collect="last"``/``"none"``, same exception (with
+the same partial state) when a chunk holds a record the scalar path
+would reject.  These tests pin that equivalence for all five estimator
+families across batch sizes 1, 7 and 4096, through mid-batch
+reallocations, non-finite records, and the stdlib-``array`` fallback
+used when numpy is unavailable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.core.landmark_avg
+import repro.core.landmark_extrema
+import repro.core.sliding_avg
+import repro.core.sliding_extrema
+import repro.streams.columns
+from repro.core.engine import build_estimator
+from repro.core.query import CorrelatedQuery
+from repro.core.time_sliding import TimeSlidingEstimator
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams.model import Record
+
+SIZE = 1200
+WINDOW = 100
+BATCH_SIZES = (1, 7, 4096)
+
+FAMILY_QUERIES = {
+    "landmark_extrema": CorrelatedQuery("count", "min", epsilon=99.0),
+    "landmark_avg": CorrelatedQuery("count", "avg"),
+    "sliding_extrema": CorrelatedQuery("count", "min", epsilon=99.0, window=WINDOW),
+    "sliding_avg": CorrelatedQuery("count", "avg", window=WINDOW),
+}
+
+FAMILY_MODULES = {
+    "landmark_extrema": repro.core.landmark_extrema,
+    "landmark_avg": repro.core.landmark_avg,
+    "sliding_extrema": repro.core.sliding_extrema,
+    "sliding_avg": repro.core.sliding_avg,
+}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return load_dataset("USAGE", size=SIZE)
+
+
+@pytest.fixture(scope="module")
+def columns(stream):
+    xs = [r.x for r in stream]
+    ys = [r.y for r in stream]
+    return xs, ys
+
+
+def _state_fingerprint(estimator) -> dict:
+    """Every piece of kernel state the columnar path stages and writes back."""
+    state: dict = {"estimate": estimator.estimate(), "obs": estimator.obs_state()}
+    inner = getattr(estimator, "_inner", None)
+    if inner is not None:
+        state["edges"] = list(inner.edges)
+        state["mass"] = inner.mass_columns()
+    for name in ("_tail", "_left", "_right"):
+        mass = getattr(estimator, name, None)
+        if mass is not None:
+            state[name] = tuple(mass)
+    moments = getattr(estimator, "_moments", None)
+    if moments is not None:
+        state["moments"] = (
+            moments._count, moments._mean, moments._m2, moments._min, moments._max
+        )
+    for name in ("_tracked", "_opposite"):
+        tracker = getattr(estimator, name, None)
+        if tracker is not None:
+            state[name] = (
+                list(tracker._locals),
+                tracker._current,
+                tracker._current_count,
+                tracker._total_seen,
+            )
+    ring = getattr(estimator, "_ring", None)
+    if ring is not None:
+        state["ring"] = [(cell[0], cell[1]) for cell in ring]
+    state["ssr"] = getattr(estimator, "_steps_since_rebuild", None)
+    return state
+
+
+def _build(family):
+    return build_estimator(FAMILY_QUERIES[family], "piecemeal-uniform", num_buckets=10)
+
+
+def _scalar_outputs(family, stream):
+    estimator = _build(family)
+    return [estimator.update(r) for r in stream], estimator
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_collect_all_matches_scalar(family, batch_size, stream, columns):
+    """Per-record outputs are bit-identical at every batch size."""
+    xs, ys = columns
+    expected, single = _scalar_outputs(family, stream)
+    batched = _build(family)
+    got: list[float] = []
+    for i in range(0, len(xs), batch_size):
+        got.extend(
+            batched.update_columns(xs[i : i + batch_size], ys[i : i + batch_size])
+        )
+    assert got == expected
+    assert _state_fingerprint(batched) == _state_fingerprint(single)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+@pytest.mark.parametrize("collect", ["last", "none"])
+def test_lean_collect_modes_match_scalar_state(
+    family, batch_size, collect, stream, columns
+):
+    """collect='last'/'none' skip outputs but land in the identical state."""
+    xs, ys = columns
+    expected, single = _scalar_outputs(family, stream)
+    batched = _build(family)
+    last: list[float] = []
+    for i in range(0, len(xs), batch_size):
+        out = batched.update_columns(
+            xs[i : i + batch_size], ys[i : i + batch_size], collect=collect
+        )
+        if collect == "none":
+            assert out == []
+        else:
+            assert len(out) <= 1
+            last = out or last
+    if collect == "last":
+        assert last == [expected[-1]]
+    assert batched.estimate() == expected[-1]
+    assert _state_fingerprint(batched) == _state_fingerprint(single)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+def test_numpy_inputs_match_list_inputs(family, stream, columns):
+    """float64 arrays in, Python-float state out — no numpy scalars leak."""
+    xs, ys = columns
+    expected, single = _scalar_outputs(family, stream)
+    batched = _build(family)
+    got = batched.update_columns(np.asarray(xs), np.asarray(ys))
+    assert got == expected
+    for edge in getattr(batched, "_inner").edges:
+        assert type(edge) is float
+    assert _state_fingerprint(batched) == _state_fingerprint(single)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+def test_default_unit_weights(family, stream, columns):
+    """``ys=None`` behaves exactly like a column of 1.0 weights."""
+    xs, _ = columns
+    single = _build(family)
+    expected = [single.update(Record(x)) for x in xs[:400]]
+    batched = _build(family)
+    assert batched.update_columns(xs[:400]) == expected
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_nonfinite_mid_chunk_matches_scalar(family, bad, stream, columns):
+    """A non-finite record raises the scalar error with the scalar state."""
+    xs, ys = columns
+    bad_xs = xs[:500] + [bad] + xs[500:700]
+    bad_ys = ys[:500] + [1.0] + ys[500:700]
+    single = _build(family)
+    single_exc = None
+    try:
+        for x, y in zip(bad_xs, bad_ys):
+            single.update(Record(x, y))
+    except StreamError as exc:
+        single_exc = str(exc)
+    assert single_exc is not None
+    batched = _build(family)
+    with pytest.raises(StreamError) as caught:
+        batched.update_columns(bad_xs, bad_ys, collect="none")
+    assert str(caught.value) == single_exc
+    assert _state_fingerprint(batched) == _state_fingerprint(single)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+def test_mid_batch_reallocation_parity(family, stream):
+    """A regime shift inside one chunk reallocates exactly like the scalar path.
+
+    The stream trebles its scale mid-chunk, which drags the focus target
+    away from the fitted interval and forces reallocation (and, for the
+    extrema families, a near-disjoint regime rebuild) while the kernel is
+    deep inside a vectorised segment.
+    """
+    shifted = [Record(r.x, r.y) for r in stream[:400]]
+    shifted += [Record(r.x * 3.0 + 50.0, r.y) for r in stream[400:800]]
+    xs = [r.x for r in shifted]
+    ys = [r.y for r in shifted]
+    single = _build(family)
+    expected = [single.update(r) for r in shifted]
+    batched = _build(family)
+    assert batched.update_columns(xs, ys) == expected
+    assert _state_fingerprint(batched) == _state_fingerprint(single)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_QUERIES))
+def test_array_module_fallback(family, stream, columns, monkeypatch):
+    """Without numpy the same entry point runs the scalar loop unchanged."""
+    xs, ys = columns
+    monkeypatch.setattr(repro.streams.columns, "HAVE_NUMPY", False)
+    # sliding_avg has no vectorised kernel, hence no HAVE_NUMPY gate to patch.
+    monkeypatch.setattr(FAMILY_MODULES[family], "HAVE_NUMPY", False, raising=False)
+    single = _build(family)
+    expected = [single.update(r) for r in stream[:300]]
+    batched = _build(family)
+    assert batched.update_columns(xs[:300], ys[:300]) == expected
+    assert _state_fingerprint(batched) == _state_fingerprint(single)
+
+
+def test_mismatched_columns_rejected(columns):
+    xs, ys = columns
+    estimator = _build("landmark_extrema")
+    with pytest.raises(ConfigurationError):
+        estimator.update_columns(xs[:10], ys[:9])
+
+
+def test_bad_collect_mode_did_you_mean():
+    estimator = _build("landmark_extrema")
+    with pytest.raises(ConfigurationError, match="collect"):
+        estimator.update_columns([1.0], [1.0], collect="lsat")
+
+
+# ------------------------------------------------------------- time-sliding
+
+TIMED_QUERY = CorrelatedQuery("count", "min", epsilon=99.0)
+
+
+def _timed_stream(stream):
+    times = [i * 0.5 for i in range(len(stream))]
+    return times, stream
+
+
+def test_time_sliding_columns_timed_matches_scalar(stream):
+    times, records = _timed_stream(stream)
+    xs = [r.x for r in records]
+    ys = [r.y for r in records]
+    single = TimeSlidingEstimator(TIMED_QUERY, duration=50.0, num_buckets=10)
+    expected = [single.update(t, r) for t, r in zip(times, records)]
+    batched = TimeSlidingEstimator(TIMED_QUERY, duration=50.0, num_buckets=10)
+    assert batched.update_columns_timed(times, xs, ys) == expected
+    assert batched.obs_state() == single.obs_state()
+    for collect, want in (("last", [expected[-1]]), ("none", [])):
+        lean = TimeSlidingEstimator(TIMED_QUERY, duration=50.0, num_buckets=10)
+        assert lean.update_columns_timed(times, xs, ys, collect=collect) == want
+        assert lean.estimate() == expected[-1]
+        assert lean.obs_state() == single.obs_state()
+
+
+def test_time_sliding_columns_timed_length_mismatch(stream):
+    estimator = TimeSlidingEstimator(TIMED_QUERY, duration=50.0, num_buckets=10)
+    with pytest.raises(ConfigurationError, match="mismatched"):
+        estimator.update_columns_timed([1.0, 2.0], [1.0])
+
+
+def test_time_sliding_update_many_timed_collect_modes(stream):
+    times, records = _timed_stream(stream[:200])
+    single = TimeSlidingEstimator(TIMED_QUERY, duration=50.0, num_buckets=10)
+    expected = [single.update(t, r) for t, r in zip(times, records)]
+    timed = list(zip(times, records))
+    for collect, want in (("all", expected), ("last", [expected[-1]]), ("none", [])):
+        batched = TimeSlidingEstimator(TIMED_QUERY, duration=50.0, num_buckets=10)
+        assert batched.update_many_timed(timed, collect=collect) == want
+        assert batched.estimate() == expected[-1]

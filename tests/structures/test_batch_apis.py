@@ -1,0 +1,136 @@
+"""Batch entry points on the summary structures.
+
+The columnar kernels lean on three structure-level batch APIs:
+``RunningMoments.push_many``/``load``, ``RingBuffer.push_many``/``load``
+and ``GKQuantileSummary.insert_many``.  Each must be an exact
+transcription of its scalar loop (``insert_many``'s opt-in deferred
+compression relaxes only the *structure*, never the rank guarantee).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.structures.gk_quantiles import GKQuantileSummary
+from repro.structures.ring_buffer import RingBuffer
+from repro.structures.welford import RunningMoments
+
+
+class TestRunningMomentsBatch:
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_push_many_is_bit_identical_to_pushes(self, values):
+        scalar = RunningMoments()
+        for v in values:
+            scalar.push(v)
+        batched = RunningMoments()
+        batched.push_many(values)
+        assert batched.__dict__ == scalar.__dict__
+
+    def test_push_many_accepts_numpy_and_keeps_python_floats(self):
+        m = RunningMoments()
+        m.push_many(np.asarray([1.0, 2.0, 3.5]))
+        assert type(m.mean) is float
+        assert type(m.minimum) is float
+        assert m.count == 3
+
+    def test_push_many_splits_match_one_batch(self):
+        values = [random.uniform(-10, 10) for _ in range(100)]
+        one = RunningMoments()
+        one.push_many(values)
+        split = RunningMoments()
+        split.push_many(values[:37])
+        split.push_many(values[37:])
+        assert split.__dict__ == one.__dict__
+
+    def test_load_overwrites_state_wholesale(self):
+        m = RunningMoments()
+        m.push_many([5.0, 7.0])
+        m.load(3, 1.5, 0.25, -1.0, 4.0)
+        assert (m.count, m.mean, m.minimum, m.maximum) == (3, 1.5, -1.0, 4.0)
+        assert m.variance == pytest.approx(0.25 / 3)
+
+
+class TestRingBufferBatch:
+    @given(
+        capacity=st.integers(1, 16),
+        items=st.lists(st.integers(), min_size=0, max_size=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_push_many_matches_push_loop(self, capacity, items):
+        scalar = RingBuffer(capacity)
+        evicted_scalar = [e for e in map(scalar.push, items) if e is not None]
+        batched = RingBuffer(capacity)
+        assert batched.push_many(items) == evicted_scalar
+        assert list(batched) == list(scalar)
+
+    def test_load_replaces_contents(self):
+        buf = RingBuffer(4)
+        buf.push_many([1, 2, 3, 4, 5])
+        buf.load([9, 8])
+        assert list(buf) == [9, 8]
+        assert len(buf) == 2
+        assert buf.oldest() == 9 and buf.newest() == 8
+        assert buf.push(7) is None  # not full after a partial load
+
+    def test_load_respects_capacity(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            RingBuffer(2).load([1, 2, 3])
+
+    def test_load_then_push_evicts_in_order(self):
+        buf = RingBuffer(3)
+        buf.load([1, 2, 3])
+        assert buf.push(4) == 1
+        assert list(buf) == [2, 3, 4]
+
+
+class TestGKInsertMany:
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_is_bit_identical_to_inserts(self, values):
+        scalar = GKQuantileSummary(eps=0.05)
+        for v in values:
+            scalar.insert(v)
+        batched = GKQuantileSummary(eps=0.05)
+        batched.insert_many(values)
+        assert batched._entries == scalar._entries
+        assert batched._count == scalar._count
+        assert batched._since_compress == scalar._since_compress
+
+    def test_accepts_numpy(self):
+        a = GKQuantileSummary(eps=0.02)
+        a.insert_many(np.linspace(0.0, 100.0, 500))
+        b = GKQuantileSummary(eps=0.02)
+        b.insert_many(list(np.linspace(0.0, 100.0, 500)))
+        assert a._entries == b._entries
+
+    def test_deferred_keeps_rank_guarantee(self):
+        random.seed(7)
+        values = [random.uniform(0.0, 1000.0) for _ in range(4000)]
+        summary = GKQuantileSummary(eps=0.01)
+        summary.insert_many(values, compress="deferred")
+        assert summary.count == len(values)
+        ordered = sorted(values)
+        for p in (0.05, 0.25, 0.5, 0.75, 0.95):
+            answer = summary.quantile(p)
+            rank = bisect.bisect_right(ordered, answer)
+            assert abs(rank - p * len(values)) <= 0.01 * len(values) + 1
+
+    def test_deferred_compresses_at_end(self):
+        values = [float(v) for v in range(2000)]
+        summary = GKQuantileSummary(eps=0.05)
+        summary.insert_many(values, compress="deferred")
+        # One end-of-batch compress keeps space near the GK bound, far
+        # below the uncompressed entry-per-value worst case.
+        assert len(summary) < len(values) / 4
+
+    def test_unknown_compress_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="periodic"):
+            GKQuantileSummary(eps=0.05).insert_many([1.0], compress="later")

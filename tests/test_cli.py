@@ -363,10 +363,15 @@ class TestShardFlags:
         assert code == 2
         assert "mutually exclusive" in capsys.readouterr().err
 
-    def test_shards_and_batch_size_are_exclusive(self, capsys):
+    def test_shards_accept_batch_size_as_chunk_size(self, capsys):
         code = main([*self.ESTIMATE, "--shards", "2", "--batch-size", "64"])
+        assert code == 0
+        assert "merged estimate" in capsys.readouterr().out
+
+    def test_shards_reject_nonpositive_batch_size(self, capsys):
+        code = main([*self.ESTIMATE, "--shards", "2", "--batch-size", "0"])
         assert code == 2
-        assert "mutually exclusive" in capsys.readouterr().err
+        assert "--batch-size must be >= 1" in capsys.readouterr().err
 
     def test_shards_and_time_window_are_exclusive(self, capsys):
         code = main([*self.ESTIMATE, "--shards", "2", "--time-window", "5"])

@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Columnar-kernel throughput: one report per estimator family.
+
+For each of the five estimator families, the same stream is replayed
+three ways and timed with the shared interleaved-block harness
+(:mod:`benchlib`):
+
+* ``scalar``    — the per-tuple ``update`` loop, one estimate per tuple;
+* ``batch_all`` — ``update_many(..., collect="all")``: the batched entry
+                  with per-record outputs (what the tracker replays);
+* ``columnar``  — ``update_columns(..., collect="none")``: flat float64
+                  columns through the vectorised family kernel, no
+                  per-record estimates (the sharded-worker hot path).
+
+All three produce bit-identical estimator state (pinned by
+``tests/core/test_columnar_parity.py``); this benchmark records what
+that equivalence costs or saves.  The headline ``speedup`` is
+scalar-median over columnar-median.  Two families are honest
+exceptions, recorded as such: ``sliding_avg``'s reallocation test fires
+nearly every record, so its columnar path is the hoisted scalar loop
+(expected ~1x), and ``time_sliding``'s variable-length expiry drain
+rules out vectorisation, so ``update_columns_timed`` is columnar in
+transport only.
+
+The ``landmark_extrema`` report also gates the removal of the old
+hand-inlined ``_update_batch`` override: the shared kernel path must
+meet or beat the 4.77x that override measured before it was deleted.
+
+Writes ``benchmarks/BENCH_columnar_<family>.json`` per family.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_columnar.py [--rounds N] [--size N]
+        [--families a,b,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import benchlib  # noqa: E402
+from repro.core.engine import build_estimator  # noqa: E402
+from repro.core.query import CorrelatedQuery  # noqa: E402
+from repro.core.time_sliding import TimeSlidingEstimator  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.streams.columns import records_to_columns  # noqa: E402
+
+REPO = Path(__file__).resolve().parents[1]
+BENCH_DIR = REPO / "benchmarks"
+
+METHOD = "piecemeal-uniform"
+NUM_BUCKETS = 10
+WINDOW = 2_000
+
+#: The speedup the deleted hand-inlined landmark-extrema ``_update_batch``
+#: measured (benchmarks/BENCH_batched_ingestion.json); the shared columnar
+#: kernel must not regress past it.
+INLINED_BATCH_SPEEDUP = 4.77
+
+FAMILIES = {
+    "landmark_extrema": {
+        "query": CorrelatedQuery("count", "min", epsilon=99.0),
+        "vectorized": True,
+        "note": "fully vectorised steady-state kernel",
+    },
+    "landmark_avg": {
+        "query": CorrelatedQuery("count", "avg"),
+        "vectorized": True,
+        "note": "vectorised CLT target over a python Welford trace",
+    },
+    "sliding_extrema": {
+        "query": CorrelatedQuery("count", "min", epsilon=99.0, window=WINDOW),
+        "vectorized": True,
+        "note": "vectorised segments between data-driven boundary steps",
+    },
+    "sliding_avg": {
+        "query": CorrelatedQuery("count", "avg", window=WINDOW),
+        "vectorized": False,
+        "note": (
+            "reallocation test fires nearly every record; columnar path is "
+            "the hoisted scalar loop (expected ~1x, recorded honestly)"
+        ),
+    },
+    "time_sliding": {
+        "query": CorrelatedQuery("count", "min", epsilon=99.0),
+        "vectorized": False,
+        "note": (
+            "variable-length expiry drain; update_columns_timed is columnar "
+            "transport over the scalar step (expected ~1x, recorded honestly)"
+        ),
+    },
+}
+
+
+def _timed_workloads(query, records):
+    """The three variants for a count/tuple-window family."""
+    xs, ys = records_to_columns(records)
+
+    def scalar():
+        estimator = build_estimator(query, METHOD, num_buckets=NUM_BUCKETS)
+        update = estimator.update
+
+        def run():
+            for record in records:
+                update(record)
+
+        return run
+
+    def batch_all():
+        estimator = build_estimator(query, METHOD, num_buckets=NUM_BUCKETS)
+        return lambda: estimator.update_many(records, collect="all")
+
+    def columnar():
+        estimator = build_estimator(query, METHOD, num_buckets=NUM_BUCKETS)
+        return lambda: estimator.update_columns(xs, ys, collect="none")
+
+    return {"scalar": scalar, "batch_all": batch_all, "columnar": columnar}
+
+
+def _timed_workloads_timed(query, records):
+    """The three variants for the time-window family (unit spacing)."""
+    xs, ys = records_to_columns(records)
+    times = [float(i) for i in range(1, len(records) + 1)]
+    timed = list(zip(times, records))
+    duration = float(WINDOW)
+
+    def scalar():
+        estimator = TimeSlidingEstimator(query, duration, num_buckets=NUM_BUCKETS)
+        update = estimator.update
+
+        def run():
+            for time_value, record in timed:
+                update(time_value, record)
+
+        return run
+
+    def batch_all():
+        estimator = TimeSlidingEstimator(query, duration, num_buckets=NUM_BUCKETS)
+        return lambda: estimator.update_many_timed(timed, collect="all")
+
+    def columnar():
+        estimator = TimeSlidingEstimator(query, duration, num_buckets=NUM_BUCKETS)
+        return lambda: estimator.update_columns_timed(times, xs, ys, collect="none")
+
+    return {"scalar": scalar, "batch_all": batch_all, "columnar": columnar}
+
+
+def bench_family(family: str, size: int, rounds: int) -> dict:
+    spec = FAMILIES[family]
+    query = spec["query"]
+    records = load_dataset("USAGE", size=size)
+    if family == "time_sliding":
+        workloads = _timed_workloads_timed(query, records)
+    else:
+        workloads = _timed_workloads(query, records)
+
+    blocks = {
+        name: (lambda k, w=workload: [benchlib.one_round(w) for _ in range(k)])
+        for name, workload in workloads.items()
+    }
+    samples = benchlib.time_variants(blocks, rounds)
+    results = {
+        name: benchlib.summarize(times, len(records))
+        for name, times in samples.items()
+    }
+
+    speedup = results["scalar"]["median"] / results["columnar"]["median"]
+    speedup_batch_all = results["scalar"]["median"] / results["batch_all"]["median"]
+    report = {
+        "benchmark": "tools/bench_columnar.py",
+        "family": family,
+        "description": (
+            f"Columnar ingestion throughput for the {family} family on "
+            f"{len(records)} USAGE tuples ({query.describe()}, {METHOD}, "
+            f"m={NUM_BUCKETS}): scalar update loop vs update_many(collect="
+            f"'all') vs update_columns(collect='none').  {spec['note']}."
+        ),
+        "command": (
+            f"PYTHONPATH=src python tools/bench_columnar.py --families {family} "
+            f"--size {size} --rounds {rounds}"
+        ),
+        "acceptance_criterion": (
+            ">= 10x scalar throughput on at least 3 of the 5 families "
+            "(per-family meets_10x records this family's contribution); "
+            "non-vectorised families record their honest ~1x"
+        ),
+        "machine": benchlib.machine_info(),
+        "workload": {
+            "query": query.describe(),
+            "dataset": "USAGE",
+            "tuples": len(records),
+            "method": METHOD,
+            "num_buckets": NUM_BUCKETS,
+            "vectorized_kernel": spec["vectorized"],
+        },
+        "results_seconds": results,
+        "speedup": round(speedup, 2),
+        "speedup_batch_all": round(speedup_batch_all, 2),
+        "tuples_per_second": results["columnar"]["tuples_per_second"],
+        "meets_10x": speedup >= 10.0,
+    }
+    if family == "landmark_extrema":
+        report["replaces_inlined_update_batch"] = {
+            "old_speedup": INLINED_BATCH_SPEEDUP,
+            "new_speedup": round(speedup, 2),
+            "ok": speedup >= INLINED_BATCH_SPEEDUP,
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--size", type=int, default=20_000)
+    parser.add_argument(
+        "--families",
+        default=",".join(FAMILIES),
+        help="comma-separated subset of: " + ", ".join(FAMILIES),
+    )
+    parser.add_argument("--output-dir", type=Path, default=BENCH_DIR)
+    args = parser.parse_args(argv)
+
+    chosen = [f.strip() for f in args.families.split(",") if f.strip()]
+    unknown = [f for f in chosen if f not in FAMILIES]
+    if unknown:
+        parser.error(f"unknown families: {unknown}; choose from {list(FAMILIES)}")
+
+    vectorized_ok = 0
+    failed_gate = False
+    for family in chosen:
+        report = bench_family(family, args.size, args.rounds)
+        path = args.output_dir / f"BENCH_columnar_{family}.json"
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        if report["meets_10x"]:
+            vectorized_ok += 1
+        gate = report.get("replaces_inlined_update_batch")
+        if gate is not None and not gate["ok"]:
+            failed_gate = True
+        print(
+            f"{family:>17}: columnar {report['speedup']:.1f}x scalar "
+            f"({report['tuples_per_second']:,.0f} tuples/s), "
+            f"batch_all {report['speedup_batch_all']:.1f}x"
+            + (" [10x: ok]" if report["meets_10x"] else "")
+        )
+        print(f"wrote {path}")
+    if failed_gate:
+        print(
+            "FAIL: columnar landmark_extrema slower than the deleted "
+            f"hand-inlined _update_batch ({INLINED_BATCH_SPEEDUP}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

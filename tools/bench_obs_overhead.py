@@ -31,15 +31,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import gc
 import json
-import statistics
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+import benchlib  # noqa: E402
 from repro.core.engine import build_estimator  # noqa: E402
 from repro.core.focused import FocusedEstimatorBase  # noqa: E402
 from repro.core.query import CorrelatedQuery  # noqa: E402
@@ -53,9 +51,6 @@ OUTPUT = REPO / "benchmarks" / "BENCH_obs_overhead.json"
 
 #: Disabled-path budget: the NULL_TRACER guard may cost at most this much.
 BUDGET = 1.05
-
-#: Timed rounds per contiguous block of one variant.
-BLOCK = 5
 
 WORKLOADS = {
     "landmark-min": CorrelatedQuery("count", "min", epsilon=99.0),
@@ -86,17 +81,17 @@ def _build(query, records, variant: str):
 
 
 def _one_round(query, records, variant: str) -> float:
-    estimator = _build(query, records, variant)
-    update = estimator.update
-    gc.collect()
-    gc.disable()
-    try:
-        start = time.perf_counter()
-        for record in records:
-            update(record)
-        return time.perf_counter() - start
-    finally:
-        gc.enable()
+    def workload():
+        estimator = _build(query, records, variant)
+        update = estimator.update
+
+        def run():
+            for record in records:
+                update(record)
+
+        return run
+
+    return benchlib.one_round(workload)
 
 
 def _block(query, records, variant: str, rounds: int) -> list[float]:
@@ -112,21 +107,13 @@ def _block(query, records, variant: str, rounds: int) -> list[float]:
 def _time_workload(
     query, records, variants: tuple[str, ...], rounds: int
 ) -> dict[str, dict[str, float]]:
-    samples: dict[str, list[float]] = {v: [] for v in variants}
-    for variant in variants:  # first full block per variant is warmup
-        _block(query, records, variant, 1)
-    while min(len(s) for s in samples.values()) < rounds:
-        for variant in variants:
-            samples[variant].extend(_block(query, records, variant, BLOCK))
+    blocks = {
+        variant: (lambda k, v=variant: _block(query, records, v, k))
+        for variant in variants
+    }
+    samples = benchlib.time_variants(blocks, rounds)
     return {
-        variant: {
-            "min": min(times),
-            "median": statistics.median(times),
-            "mean": statistics.fmean(times),
-            "stddev": statistics.stdev(times) if len(times) > 1 else 0.0,
-            "rounds": len(times),
-            "tuples_per_second": len(records) / statistics.median(times),
-        }
+        variant: benchlib.summarize(times, len(records))
         for variant, times in samples.items()
     }
 

@@ -25,14 +25,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
-import os
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+import benchlib  # noqa: E402
 from repro.core.engine import build_estimator  # noqa: E402
 from repro.core.exact import exact_series  # noqa: E402
 from repro.core.query import CorrelatedQuery  # noqa: E402
@@ -47,19 +45,6 @@ METHOD = "piecemeal-uniform"
 NUM_BUCKETS = 10
 
 
-def _best_of(rounds: int, fn) -> tuple[float, float]:
-    """(best elapsed seconds, result from the best round)."""
-    best = float("inf")
-    result = None
-    for _ in range(rounds):
-        started = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - started
-        if elapsed < best:
-            best = elapsed
-    return best, result
-
-
 def run(size: int, rounds: int, partition: str) -> dict:
     query = CorrelatedQuery(dependent="count", independent="avg")
     records = load_dataset("ZIPF", size=size)
@@ -70,7 +55,7 @@ def run(size: int, rounds: int, partition: str) -> dict:
         estimator.update_many(records)
         return estimator.estimate()
 
-    base_elapsed, base_estimate = _best_of(rounds, baseline)
+    base_elapsed, base_estimate = benchlib.best_of(rounds, baseline)
     base_tps = len(records) / base_elapsed
 
     curve = []
@@ -89,7 +74,7 @@ def run(size: int, rounds: int, partition: str) -> dict:
                 answer = ingestor.query()
                 return answer, ingestor.merge_error_bound()
 
-        elapsed, (answer, bound) = _best_of(rounds, sharded)
+        elapsed, (answer, bound) = benchlib.best_of(rounds, sharded)
         tps = len(records) / elapsed
         curve.append(
             {
@@ -104,7 +89,8 @@ def run(size: int, rounds: int, partition: str) -> dict:
         )
 
     at4 = next(p for p in curve if p["workers"] == 4)
-    cpu_count = os.cpu_count() or 1
+    machine = benchlib.machine_info()
+    cpu_count = machine["cpu_count"]
     return {
         "benchmark": "tools/bench_sharded.py",
         "description": (
@@ -120,11 +106,7 @@ def run(size: int, rounds: int, partition: str) -> dict:
             "physical cores; on smaller machines the honest measured curve "
             "is recorded instead"
         ),
-        "machine": {
-            "cpu_count": cpu_count,
-            "start_method": multiprocessing.get_start_method(),
-            "platform": sys.platform,
-        },
+        "machine": machine,
         "workload": {
             "query": "COUNT{y: x > AVG(x)} [landmark]",
             "dataset": "ZIPF",

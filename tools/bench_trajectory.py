@@ -30,6 +30,15 @@ def _headline(report: dict) -> dict[str, object]:
     Known shapes get a tailored summary; anything else falls back to the
     report's top-level scalars so new benchmarks surface without edits here.
     """
+    if "family" in report:
+        return {
+            "family": report["family"],
+            "speedup": report.get("speedup"),
+            "speedup_batch_all": report.get("speedup_batch_all"),
+            "tuples_per_second": report.get("tuples_per_second"),
+            "meets_10x": report.get("meets_10x"),
+            "cpu_count": report.get("machine", {}).get("cpu_count"),
+        }
     if "speedup" in report:
         return {"speedup": report["speedup"]}
     if "curve" in report:

@@ -1,0 +1,111 @@
+"""Shared measurement harness for the ``tools/bench_*.py`` scripts.
+
+Every benchmark in this repo follows the same discipline:
+
+* a round is one full pass over the workload, timed with the garbage
+  collector frozen (one ``gc.collect()`` before the clock starts, so no
+  round pays for another round's garbage);
+* setup (building estimators, loading data) runs *outside* the timed
+  region;
+* variants are timed in **interleaved blocks** — a few rounds of A, a
+  few of B, repeat — so clock drift and thermal throttling land evenly
+  on every variant instead of biasing whichever ran last;
+* the first block per variant is warmup (CPython re-specialises after
+  any monkeypatching, caches fill) and is discarded;
+* summaries report min/median/mean/stddev over the kept rounds, and
+  machine facts (``cpu_count`` above all) ride along so a single-core
+  CI runner's numbers are never mistaken for a workstation's.
+
+The helpers here encode that discipline once; the ``bench_*`` scripts
+supply only their workloads and acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import statistics
+import sys
+import time
+from collections.abc import Callable, Mapping
+
+#: Timed rounds per contiguous block of one variant.
+BLOCK = 5
+
+
+def one_round(workload: Callable[[], Callable[[], None]]) -> float:
+    """Time a single round: ``workload()`` builds, the returned thunk runs.
+
+    Setup work inside ``workload`` is untimed; only the returned thunk
+    is clocked, with garbage collection disabled for the duration.
+    """
+    run = workload()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        run()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def time_variants(
+    blocks: Mapping[str, Callable[[int], list[float]]],
+    rounds: int,
+    block: int = BLOCK,
+) -> dict[str, list[float]]:
+    """Collect >= ``rounds`` samples per variant in interleaved blocks.
+
+    ``blocks[name](k)`` must run ``k`` timed rounds of that variant and
+    return their durations; any per-variant patching/unpatching belongs
+    inside it.  The first block of every variant (one round) is warmup
+    and discarded.
+    """
+    samples: dict[str, list[float]] = {name: [] for name in blocks}
+    for fn in blocks.values():  # first full block per variant is warmup
+        fn(1)
+    while min(len(s) for s in samples.values()) < rounds:
+        for name, fn in blocks.items():
+            samples[name].extend(fn(block))
+    return samples
+
+
+def summarize(times: list[float], tuples: int) -> dict[str, float]:
+    """The standard per-variant stats block of a ``BENCH_*.json`` report."""
+    return {
+        "min": min(times),
+        "median": statistics.median(times),
+        "mean": statistics.fmean(times),
+        "stddev": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "rounds": len(times),
+        "tuples_per_second": tuples / statistics.median(times),
+    }
+
+
+def best_of(rounds: int, fn: Callable[[], object]) -> tuple[float, object]:
+    """(best elapsed seconds, result from the best round).
+
+    For workloads too heavy to interleave (multi-process scaling runs):
+    best-of-N suppresses scheduler noise without the block machinery.
+    """
+    best = float("inf")
+    best_result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+            best_result = result
+    return best, best_result
+
+
+def machine_info() -> dict[str, object]:
+    """The machine facts every throughput claim must carry."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "start_method": multiprocessing.get_start_method(),
+        "platform": sys.platform,
+    }

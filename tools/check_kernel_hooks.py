@@ -40,6 +40,8 @@ HOOK_MARKERS = (
     "_warmup_step",
     "_quantile_edges",
     "_seed_histogram",
+    "_steady_columns",
+    "_columns_supported",
 )
 
 #: Kernel-owned machinery: no kernel subclass may define these.
@@ -51,6 +53,7 @@ KERNEL_OWNED = (
     "obs_state",
     "estimate_bounds",
     "update_many",
+    "update_columns",
     "_after_add",
 )
 
