@@ -9,15 +9,27 @@ at query time.  This package provides:
   (``merge_from`` + ``merge_error_bound``) the summary layer implements;
 * :mod:`~repro.parallel.partition` — round-robin / hash / range stream
   partitioning policies;
+* :mod:`~repro.parallel.transport` — pluggable coordinator-to-worker
+  chunk transports: portable pickle queues or a zero-copy shared-memory
+  slot ring;
 * :class:`~repro.parallel.sharded.ShardedIngestor` — the coordinator
   that runs the workers and merges their summaries.
 
-See docs/PARALLEL.md for merge semantics and exactness boundaries.
+See docs/PARALLEL.md for merge semantics, exactness boundaries and the
+transport trade-offs.
 """
 
 from repro.parallel.mergeable import MergeableSummary, merge_all
 from repro.parallel.partition import PARTITION_POLICIES, make_partitioner
 from repro.parallel.sharded import ShardedIngestor
+from repro.parallel.transport import (
+    TRANSPORTS,
+    QueueTransport,
+    ShardTransport,
+    ShmTransport,
+    make_transport,
+    unlink_stale_slabs,
+)
 
 __all__ = [
     "MergeableSummary",
@@ -25,4 +37,10 @@ __all__ = [
     "PARTITION_POLICIES",
     "make_partitioner",
     "ShardedIngestor",
+    "TRANSPORTS",
+    "ShardTransport",
+    "QueueTransport",
+    "ShmTransport",
+    "make_transport",
+    "unlink_stale_slabs",
 ]

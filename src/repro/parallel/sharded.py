@@ -18,18 +18,20 @@ Only landmark-scope focused estimators are shardable: sliding windows are
 defined over a single arrival order, which partitioning destroys, so
 sliding queries (and ``time_window=``) are rejected up front.
 
-IPC protocol: one input queue per shard (records travel in batched
-chunks; per-shard FIFO makes the query message a natural barrier) and one
-shared output queue.  Chunks travel **columnar**: two flat float64
-columns per chunk (:func:`~repro.streams.columns.records_to_columns`)
-instead of ``chunk_size`` pickled ``Record`` tuples, and each worker
-feeds them straight into its estimator's ``update_columns`` kernel with
-``collect="none"`` — no per-record estimates, no per-record objects on
-the wire.  Workers still accept legacy list-of-records chunks, so a
-coordinator and workers from different versions interoperate.  Workers
-receive their estimator as an explicit pickle payload, so construction
-is identical — and tested — under both ``fork`` and ``spawn`` start
-methods.
+IPC protocol: one input lane per shard behind a pluggable
+:class:`~repro.parallel.transport.ShardTransport` (chunks travel
+columnar; per-shard FIFO makes the query message a natural barrier) and
+one shared output queue.  ``transport="queue"`` (the portable default)
+pickles each chunk's column pair; ``transport="shm"`` writes the columns
+into a zero-copy shared-memory slot ring instead — see
+:mod:`repro.parallel.transport` for the wire formats, slot lifecycle and
+backpressure semantics.  Each worker feeds chunks straight into its
+estimator's ``update_columns`` kernel with ``collect="none"`` — no
+per-record estimates, no per-record objects on the wire.  Workers still
+accept legacy list-of-records chunks, so a coordinator and workers from
+different versions interoperate.  Workers receive their estimator as an
+explicit pickle payload, so construction is identical — and tested —
+under both ``fork`` and ``spawn`` start methods.
 """
 
 from __future__ import annotations
@@ -47,7 +49,7 @@ from repro.exceptions import ConfigurationError, StreamError
 from repro.obs.sink import NULL_SINK, ObsSink
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.parallel.partition import RangePartitioner, RoundRobinPartitioner, make_partitioner
-from repro.streams.columns import records_to_columns
+from repro.parallel.transport import make_transport
 from repro.streams.model import Record
 
 __all__ = ["ShardedIngestor"]
@@ -55,32 +57,38 @@ __all__ = ["ShardedIngestor"]
 _MAX_SHARDS = 64
 
 
-def _shard_worker(shard_id: int, payload: bytes, in_queue, out_queue) -> None:
+def _shard_worker(shard_id: int, estimator_payload: bytes, endpoint, out_queue) -> None:
     """One worker process: unpickle the estimator, drain chunks, answer queries."""
+    ingested = 0
     try:
-        estimator = pickle.loads(payload)
-        ingested = 0
+        estimator = pickle.loads(estimator_payload)
+        endpoint.attach()
         while True:
-            message = in_queue.get()
-            tag = message[0]
-            if tag == "chunk":
-                payload = message[1]
-                if isinstance(payload, tuple):
-                    # Columnar chunk: (xs, ys) flat float columns.
-                    xs, ys = payload
-                    estimator.update_columns(xs, ys, collect="none")
-                    ingested += len(xs)
-                else:
-                    # Legacy chunk: a list of Record tuples.
-                    estimator.update_many(payload, collect="none")
-                    ingested += len(payload)
-            elif tag == "query":
+            kind, chunk = endpoint.recv()
+            if kind == "columns":
+                xs, ys = chunk
+                estimator.update_columns(xs, ys, collect="none")
+                ingested += len(xs)
+                del xs, ys, chunk  # drop slab views before the slot is reused
+                endpoint.release()
+            elif kind == "records":
+                # Legacy chunk: a list of Record tuples.
+                estimator.update_many(chunk, collect="none")
+                ingested += len(chunk)
+            elif kind == "query":
                 out_queue.put(("summary", shard_id, estimator, ingested))
-            elif tag == "stop":
+            elif kind == "stop":
                 out_queue.put(("stopped", shard_id, ingested))
                 return
     except Exception:
-        out_queue.put(("error", shard_id, traceback.format_exc()))
+        # Report how far this shard got so the coordinator can log the
+        # partial progress alongside the traceback.
+        out_queue.put(("error", shard_id, traceback.format_exc(), ingested))
+    finally:
+        try:
+            endpoint.detach()
+        except Exception:  # pragma: no cover - teardown must never mask
+            pass
 
 
 class ShardedIngestor:
@@ -99,8 +107,13 @@ class ShardedIngestor:
     partition:
         ``'round-robin'`` (default), ``'hash'``, or ``'range'`` — see
         :mod:`repro.parallel.partition` for the trade-offs.
+    transport:
+        ``'queue'`` (default, portable pickle queues) or ``'shm'``
+        (zero-copy shared-memory slot ring) — see
+        :mod:`repro.parallel.transport` for the trade-offs.
     chunk_size:
-        Records per IPC message; batching amortises queue/pickle overhead.
+        Records per IPC message; batching amortises per-message overhead
+        (and sizes the shm transport's slabs).
     start_method:
         ``multiprocessing`` start method (``'fork'``/``'spawn'``/...);
         ``None`` uses the platform default.
@@ -120,6 +133,7 @@ class ShardedIngestor:
         num_buckets: int = 10,
         shards: int = 2,
         partition: str = "round-robin",
+        transport: str = "queue",
         chunk_size: int = 4096,
         start_method: str | None = None,
         result_timeout: float = 120.0,
@@ -160,6 +174,9 @@ class ShardedIngestor:
         self._shards = shards
         self._chunk_size = chunk_size
         self._partitioner = make_partitioner(partition, shards)
+        self._transport = make_transport(
+            transport, chunk_size=chunk_size, stall_timeout=result_timeout
+        )
         self._start_method = start_method
         self._timeout = result_timeout
         self._obs = sink if sink is not None else NULL_SINK
@@ -180,7 +197,6 @@ class ShardedIngestor:
         self._ingested = 0
         self._last_bound: float | None = None
         self._processes: list[mp.process.BaseProcess] = []
-        self._queues: list = []
         self._out = None
         self._started = False
         self._closed = False
@@ -195,27 +211,47 @@ class ShardedIngestor:
             raise StreamError("ShardedIngestor was closed; build a new one")
         ctx = mp.get_context(self._start_method)
         self._out = ctx.Queue()
-        self._queues = [ctx.Queue() for _ in range(self._shards)]
+        self._transport.start(ctx, self._shards)
+        self._transport.liveness = self._dead_worker
         self._processes = []
-        for shard_id in range(self._shards):
-            process = ctx.Process(
-                target=_shard_worker,
-                args=(shard_id, self._payloads[shard_id], self._queues[shard_id], self._out),
-                daemon=True,
-                name=f"repro-shard-{shard_id}",
-            )
-            process.start()
-            self._processes.append(process)
+        try:
+            for shard_id in range(self._shards):
+                process = ctx.Process(
+                    target=_shard_worker,
+                    args=(
+                        shard_id,
+                        self._payloads[shard_id],
+                        self._transport.worker_endpoint(shard_id),
+                        self._out,
+                    ),
+                    daemon=True,
+                    name=f"repro-shard-{shard_id}",
+                )
+                process.start()
+                self._processes.append(process)
+        except BaseException:
+            # A worker that failed to launch must not leak the slabs the
+            # transport already mapped.
+            self._transport.close()
+            raise
         self._started = True
 
+    def _dead_worker(self, shard: int) -> str | None:
+        """Liveness probe the transport polls while blocked on a slot."""
+        if shard < len(self._processes):
+            process = self._processes[shard]
+            if not process.is_alive():
+                return f"{process.name} exitcode={process.exitcode}"
+        return None
+
     def close(self) -> None:
-        """Stop the workers and reclaim the processes."""
+        """Stop the workers, reclaim the processes, release the transport."""
         if not self._started or self._closed:
             self._closed = True
             return
-        for q in self._queues:
+        for shard in range(self._shards):
             try:
-                q.put(("stop",))
+                self._transport.send_control(shard, ("stop",))
             except (OSError, ValueError):
                 pass
         for process in self._processes:
@@ -223,9 +259,9 @@ class ShardedIngestor:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
-        for q in [*self._queues, self._out]:
-            q.close()
-            q.cancel_join_thread()
+        self._transport.close()
+        self._out.close()
+        self._out.cancel_join_thread()
         self._closed = True
         self._started = False
 
@@ -298,7 +334,7 @@ class ShardedIngestor:
         buffer = self._buffers[shard]
         if not buffer:
             return
-        self._queues[shard].put(("chunk", records_to_columns(buffer)))
+        self._transport.send_records(shard, buffer)
         self._sent[shard] += len(buffer)
         self._buffers[shard] = []
 
@@ -321,8 +357,8 @@ class ShardedIngestor:
         if not self._started:
             self.start()
         self.flush()
-        for q in self._queues:
-            q.put(("query",))
+        for shard in range(self._shards):
+            self._transport.send_control(shard, ("query",))
         summaries: dict[int, FocusedEstimatorBase] = {}
         counts: dict[int, int] = {}
         waited = 0.0
@@ -346,7 +382,23 @@ class ShardedIngestor:
                 continue
             tag = message[0]
             if tag == "error":
-                raise StreamError(f"shard {message[1]} failed:\n{message[2]}")
+                shard_id = message[1]
+                done = message[3] if len(message) > 3 else None
+                progress = (
+                    f" after ingesting {done} of {self._sent[shard_id]} sent records"
+                    if done is not None
+                    else ""
+                )
+                if self._obs.enabled:
+                    self._obs.emit(
+                        "parallel.worker_error",
+                        shard=float(shard_id),
+                        ingested=float(done if done is not None else 0),
+                        sent=float(self._sent[shard_id]),
+                    )
+                raise StreamError(
+                    f"shard {shard_id} failed{progress}:\n{message[2]}"
+                )
             if tag == "summary":
                 summaries[message[1]] = message[2]
                 counts[message[1]] = message[3]
@@ -365,6 +417,11 @@ class ShardedIngestor:
                 shards=float(self._shards),
                 records=float(sum(counts.values())),
                 **fields,
+            )
+            self._obs.emit(
+                "parallel.transport",
+                transport=self._transport.name,
+                **self._transport.stats(),
             )
         return merged
 
@@ -398,4 +455,6 @@ class ShardedIngestor:
         }
         for shard, sent in enumerate(self._sent):
             state[f"shard.{shard}.records"] = float(sent)
+        for key, value in self._transport.stats().items():
+            state[f"transport.{key}"] = float(value)
         return state

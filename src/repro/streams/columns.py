@@ -77,15 +77,48 @@ def columns_to_records(xs: Sequence[float], ys: Sequence[float]) -> list[Record]
     return [Record(float(x), float(y)) for x, y in zip(xs, ys)]
 
 
-def records_to_columns(records: Sequence[Record]) -> ColumnPair:
+def records_to_columns(
+    records: Sequence[Record], out: ColumnPair | None = None
+) -> ColumnPair:
     """Split records into an (xs, ys) column pair.
 
     The inverse of :func:`columns_to_records`; the sharded transport
     uses it to ship chunks as two flat arrays instead of n pickled
     ``Record`` tuples.
+
+    ``out=`` is the allocation-hoisting fast path: pass a preallocated
+    pair of float64 numpy buffers (each at least ``len(records)`` long)
+    and the columns are written **in place** — the return value is a pair
+    of length-n views into the buffers, so a caller looping over chunks
+    (the sharded coordinator's feed loop, a shared-memory slab) reuses
+    one buffer pair instead of allocating two fresh arrays per chunk.
+    Only honoured on the numpy path; the stdlib-``array`` fallback always
+    builds fresh columns (``array`` slices are copies, so in-place reuse
+    could not be returned as views anyway).
     """
+    n = len(records)
+    if (
+        out is not None
+        and HAVE_NUMPY
+        and isinstance(out[0], np.ndarray)
+        and isinstance(out[1], np.ndarray)
+    ):
+        xs_buf, ys_buf = out
+        if len(xs_buf) < n or len(ys_buf) < n:
+            raise ConfigurationError(
+                f"out= buffers hold {min(len(xs_buf), len(ys_buf))} values "
+                f"but the chunk has {n} records"
+            )
+        if n:
+            # One transient (n, 2) staging block instead of two fresh
+            # output columns; NamedTuple records convert on numpy's fast
+            # sequence path.
+            staged = np.asarray(records, dtype=np.float64)
+            np.copyto(xs_buf[:n], staged[:, 0])
+            np.copyto(ys_buf[:n], staged[:, 1])
+        return xs_buf[:n], ys_buf[:n]
     if HAVE_NUMPY:
-        xs = np.fromiter((r.x for r in records), dtype=np.float64, count=len(records))
-        ys = np.fromiter((r.y for r in records), dtype=np.float64, count=len(records))
+        xs = np.fromiter((r.x for r in records), dtype=np.float64, count=n)
+        ys = np.fromiter((r.y for r in records), dtype=np.float64, count=n)
         return xs, ys
     return array("d", (r.x for r in records)), array("d", (r.y for r in records))
