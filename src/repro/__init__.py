@@ -25,6 +25,7 @@ from repro.core.engine import METHODS, build_estimator
 from repro.core.exact import ExactOracle, exact_series
 from repro.core.keyed import KeyedEstimatorBank
 from repro.core.multiplex import QueryEngine
+from repro.keyed import GatedKeyedBank, KeyEstimate, SpaceSavingAdmission
 from repro.core.parser import parse_query
 from repro.core.query import CorrelatedQuery
 from repro.obs.audit import AccuracyAuditor
@@ -46,6 +47,9 @@ __all__ = [
     "CheckpointManager",
     "CorrelatedQuery",
     "KeyedEstimatorBank",
+    "GatedKeyedBank",
+    "KeyEstimate",
+    "SpaceSavingAdmission",
     "QueryEngine",
     "parse_query",
     "Record",

@@ -377,6 +377,85 @@ def _estimate_sharded(args: argparse.Namespace, query, records, method: str) -> 
     return 0
 
 
+def _cmd_keyed(args: argparse.Namespace) -> int:
+    """``keyed``: drive a zipf-keyed stream through a GatedKeyedBank."""
+    import time
+
+    from repro.datasets.zipf import zipf_keys
+    from repro.keyed import GatedKeyedBank
+
+    if args.query:
+        query = parse_query(args.query)
+    else:
+        query = CorrelatedQuery(
+            dependent=args.dependent, independent=args.independent, epsilon=args.epsilon
+        )
+    records = load_dataset(args.dataset, size=args.size)
+    keys = zipf_keys(
+        len(records), args.keys, exponent=args.key_skew, seed=args.key_seed
+    )
+    method = args.method or "piecemeal-uniform"
+    sink = RecordingSink() if args.metrics else None
+    bank = GatedKeyedBank(
+        query,
+        method,
+        num_buckets=args.buckets,
+        sketch_capacity=args.sketch_capacity,
+        promote_threshold=args.promote_after,
+        memory_budget=args.budget_kb * 1024 if args.budget_kb else None,
+        sink=sink,
+    )
+    update = bank.update
+    started = time.perf_counter()
+    for key, record in zip(keys.tolist(), records):
+        update(key, record)
+    elapsed = time.perf_counter() - started
+
+    state = bank.obs_state()
+    print(f"query  : {query.describe()}")
+    print(
+        f"stream : {args.dataset}, {len(records)} tuples over {args.keys} "
+        f"zipf({args.key_skew:g}) keys"
+    )
+    print(f"method : {method} (m={args.buckets})")
+    budget = "none" if not args.budget_kb else f"{args.budget_kb} KiB"
+    print(
+        f"bank   : sketch {args.sketch_capacity} slots, promote after "
+        f"{args.promote_after}, budget {budget}\n"
+    )
+    rows = []
+    for key, value in bank.top(args.top):
+        answer = bank.estimate_interval(key)
+        rows.append(
+            [
+                str(key),
+                f"{value:.6g}",
+                f"[{answer.low:.6g}, {answer.high:.6g}]",
+                answer.kind + ("" if answer.missed == 0 else f" (missed<={answer.missed})"),
+            ]
+        )
+    print(format_table(["key", "estimate", "interval", "kind"], rows))
+    print()
+    print(
+        f"promoted {int(state['promoted'])} of {int(state['keys'])} tracked keys "
+        f"({int(state['promotions'])} promotions, {int(state['demotions'])} "
+        f"demotions, {int(state['sketch.replacements'])} sketch replacements)"
+    )
+    print(
+        f"promoted bytes  : {int(state['promoted_bytes']):,}"
+        + (
+            f" / {int(state['memory_budget']):,} budget"
+            if "memory_budget" in state
+            else ""
+        )
+    )
+    print(f"throughput      : {len(records) / max(elapsed, 1e-9):,.0f} tuples/s")
+    if sink is not None:
+        print()
+        print(format_metrics_table(sink.registry))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     methods = args.methods.split(",") if args.methods else None
     panels = run_experiment(
@@ -638,6 +717,63 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--buckets", type=int, default=None, help="override bucket budget")
     stats.add_argument("--format", default="table", choices=list(METRICS_FORMATS))
     stats.set_defaults(handler=_cmd_stats)
+
+    keyed = sub.add_parser(
+        "keyed",
+        help="per-key correlated aggregates through a heavy-hitter-gated bank",
+    )
+    keyed.add_argument(
+        "--query",
+        default=None,
+        help="paper notation (overrides --dependent/--independent/--epsilon)",
+    )
+    keyed.add_argument("--dataset", default="USAGE", help="USAGE/MGCTY/ZIPF/MULTIFRAC")
+    keyed.add_argument("--dependent", default="count", choices=["count", "sum", "avg"])
+    keyed.add_argument("--independent", default="min", choices=["min", "max", "avg"])
+    keyed.add_argument("--epsilon", type=float, default=99.0)
+    keyed.add_argument("--method", default=None, choices=list(METHODS))
+    keyed.add_argument("--size", type=int, default=20000)
+    keyed.add_argument("--buckets", type=int, default=10)
+    keyed.add_argument(
+        "--keys", type=int, default=1000, help="distinct group-by keys"
+    )
+    keyed.add_argument(
+        "--key-skew",
+        type=float,
+        default=1.1,
+        dest="key_skew",
+        help="zipf exponent of the key popularity distribution",
+    )
+    keyed.add_argument("--key-seed", type=int, default=7, dest="key_seed")
+    keyed.add_argument(
+        "--sketch-capacity",
+        type=int,
+        default=1024,
+        dest="sketch_capacity",
+        help="monitored slots in the Space-Saving admission sketch",
+    )
+    keyed.add_argument(
+        "--promote-after",
+        type=int,
+        default=32,
+        dest="promote_after",
+        help="guaranteed hits before a key gets a full estimator",
+    )
+    keyed.add_argument(
+        "--budget-kb",
+        type=int,
+        default=None,
+        dest="budget_kb",
+        help="memory budget for promoted estimators in KiB (cold keys are "
+        "demoted back into the sketch when crossed)",
+    )
+    keyed.add_argument("--top", type=int, default=10, help="keys to rank and print")
+    keyed.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach instrumentation and print promote/demote/evict metrics",
+    )
+    keyed.set_defaults(handler=_cmd_keyed)
 
     est = sub.add_parser("estimate", help="ad hoc query over a built-in data set")
     est.add_argument(

@@ -16,7 +16,7 @@ from repro.datasets.mgcty import mgcty_stream
 from repro.datasets.multifractal import multifractal_stream
 from repro.datasets.registry import DATASETS, dataset_names, load_dataset
 from repro.datasets.usage import usage_stream
-from repro.datasets.zipf import zipf_stream
+from repro.datasets.zipf import zipf_keys, zipf_stream
 
 __all__ = [
     "CallRecord",
@@ -25,6 +25,7 @@ __all__ = [
     "multifractal_stream",
     "usage_stream",
     "zipf_stream",
+    "zipf_keys",
     "DATASETS",
     "dataset_names",
     "load_dataset",

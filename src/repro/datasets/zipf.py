@@ -83,3 +83,26 @@ def zipf_stream(
     values = scale * base_ranks.astype(float) ** (-exponent)
     secondary = rng.lognormal(mean=1.0, sigma=0.6, size=n)
     return [Record(float(x), float(y)) for x, y in zip(values, secondary)]
+
+
+def zipf_keys(
+    n: int, distinct: int, exponent: float = 1.1, seed: int = 7
+) -> np.ndarray:
+    """Zipf-distributed group-by key ids for keyed-bank workloads.
+
+    Draws ``n`` keys over ``[0, distinct)`` with ``P(key = r) ∝
+    (r + 1)^(-exponent)`` — the classic heavy-tailed tenancy shape (a few
+    very hot customers, a long tail of one-off keys).  ``exponent`` close
+    to 1 (the keyed benchmark uses 1.1) keeps the tail fat enough that
+    most distinct keys appear only a handful of times.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if distinct <= 0:
+        raise ConfigurationError(f"distinct must be positive, got {distinct}")
+    if exponent <= 0:
+        raise ConfigurationError(f"exponent must be positive, got {exponent}")
+    rng = np.random.default_rng(seed)
+    weights = np.arange(1, distinct + 1, dtype=float) ** -exponent
+    weights /= weights.sum()
+    return rng.choice(distinct, size=n, p=weights)

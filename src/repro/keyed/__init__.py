@@ -1,0 +1,22 @@
+"""Keyed multi-tenancy: admission-gated per-key correlated aggregates.
+
+* :mod:`repro.keyed.admission` — the Space-Saving/Misra–Gries counter
+  layer with over/under-count guarantees and per-slot replay buffers;
+* :mod:`repro.keyed.gated` — :class:`GatedKeyedBank`, which promotes only
+  heavy keys to full estimators, demotes/evicts cold ones under a byte
+  budget, and answers every key with explicit error intervals.
+
+The ungated :class:`~repro.core.keyed.KeyedEstimatorBank` (one estimator
+per key, no sketch) remains in :mod:`repro.core.keyed` for small key
+populations.
+"""
+
+from repro.keyed.admission import Slot, SpaceSavingAdmission
+from repro.keyed.gated import GatedKeyedBank, KeyEstimate
+
+__all__ = [
+    "SpaceSavingAdmission",
+    "Slot",
+    "GatedKeyedBank",
+    "KeyEstimate",
+]

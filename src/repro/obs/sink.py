@@ -83,16 +83,27 @@ class RecordingSink:
     max_events:
         Raw-event retention cap (sliding-window expiries fire once per
         tuple, so unbounded retention would dominate a long run's memory).
+    max_label_values:
+        Distinct values counted per string field before further values
+        collapse into a ``.__other__`` counter.  High-cardinality fields
+        (a keyed bank emits one lifecycle event per *key*) would otherwise
+        mint one counter per value and dominate a scrape; raw retained
+        events still carry the exact value.
     """
 
     enabled = True
 
     def __init__(
-        self, registry: MetricsRegistry | None = None, max_events: int = 10_000
+        self,
+        registry: MetricsRegistry | None = None,
+        max_events: int = 10_000,
+        max_label_values: int = 64,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.events: list[ObsEvent] = []
         self._max_events = max_events
+        self._max_label_values = max_label_values
+        self._label_values: dict[str, set[str]] = {}
         self._lock = threading.Lock()
 
     def emit(self, name: str, /, **fields: float | str) -> None:
@@ -107,7 +118,13 @@ class RecordingSink:
             registry.counter(f"events.{name}").inc()
             for key, value in fields.items():
                 if isinstance(value, str):
-                    registry.counter(f"{name}.{key}.{value}").inc()
+                    series = f"{name}.{key}"
+                    seen = self._label_values.setdefault(series, set())
+                    if value in seen or len(seen) < self._max_label_values:
+                        seen.add(value)
+                        registry.counter(f"{series}.{value}").inc()
+                    else:
+                        registry.counter(f"{series}.__other__").inc()
                 else:
                     registry.histogram(f"{name}.{key}").observe(float(value))
             if len(self.events) < self._max_events:

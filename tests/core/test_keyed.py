@@ -2,16 +2,39 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core.exact import exact_series
-from repro.core.keyed import ONLINE_METHODS, KeyedEstimatorBank
+from repro.core.keyed import (
+    ONLINE_METHODS,
+    KeyedEstimatorBank,
+    escape_key_name,
+    key_gauge_names,
+    rank_estimates,
+)
 from repro.core.query import CorrelatedQuery
 from repro.exceptions import ConfigurationError, StreamError
+from repro.obs.sink import RecordingSink
 from repro.streams.model import Record
 from tests.conftest import make_records
 
 QUERY = CorrelatedQuery("count", "min", epsilon=9.0)
+
+NAN = float("nan")
+
+
+class _NanEstimator:
+    """Stand-in whose estimate is NaN (focused estimators reject non-finite
+    records at ingestion, so a NaN answer must be injected directly — e.g.
+    an extrema estimator whose focus region emptied)."""
+
+    def estimate(self) -> float:
+        return NAN
+
+    def obs_state(self) -> dict[str, float]:
+        return {"buckets": 1.0}
 
 
 class TestValidation:
@@ -109,3 +132,122 @@ class TestTop:
         bank = KeyedEstimatorBank(QUERY)
         with pytest.raises(ConfigurationError):
             bank.top(0)
+
+    def test_top_beyond_live_keys_returns_them_all(self):
+        bank = KeyedEstimatorBank(QUERY)
+        bank.update("a", Record(1.0))
+        bank.update("b", Record(2.0))
+        ranked = bank.top(10)
+        assert len(ranked) == 2
+        assert {key for key, _ in ranked} == {"a", "b"}
+
+    def test_nan_estimates_rank_last_deterministically(self):
+        # Regression: sorted(..., reverse=True) over raw floats lets a NaN
+        # land anywhere (all comparisons are False), poisoning the whole
+        # ranking.  NaNs must sort last, in first-seen order, every time.
+        bank = KeyedEstimatorBank(QUERY)
+        for key, x in (("a", 5.0), ("b", 50.0), ("c", 2.0)):
+            for _ in range(5):
+                bank.update(key, Record(x))
+        bank._estimators["poison"] = _NanEstimator()
+        bank._updates["poison"] = 0
+        bank._estimators["poison2"] = _NanEstimator()
+        bank._updates["poison2"] = 0
+        for _ in range(5):
+            ranked = bank.top(10)
+            assert [key for key, _ in ranked[-2:]] == ["poison", "poison2"]
+            finite = [value for _, value in ranked[:-2]]
+            assert finite == sorted(finite, reverse=True)
+            assert all(math.isnan(value) for _, value in ranked[-2:])
+
+
+class TestRankEstimates:
+    def test_nans_last_in_first_seen_order(self):
+        items = [("a", NAN), ("b", 3.0), ("c", NAN), ("d", 7.0)]
+        assert [key for key, _ in rank_estimates(items)] == ["d", "b", "a", "c"]
+
+    def test_ties_keep_first_seen_order(self):
+        items = [("x", 1.0), ("y", 1.0), ("z", 2.0)]
+        assert [key for key, _ in rank_estimates(items)] == ["z", "x", "y"]
+
+    def test_n_truncates(self):
+        items = [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        assert rank_estimates(items, 2) == [("c", 3.0), ("b", 2.0)]
+
+
+class TestGaugeNaming:
+    def test_dots_and_backslashes_escaped(self):
+        assert escape_key_name("a.b") == "a\\.b"
+        assert escape_key_name("a\\.b") == "a\\\\\\.b"
+        # Distinct keys never alias after escaping.
+        assert escape_key_name("a.b") != escape_key_name("a\\b")
+
+    def test_colliding_renderings_disambiguated(self):
+        names = key_gauge_names([1, "1", 2])
+        assert names[1] == "1"
+        assert names["1"] == "1#2"
+        assert names[2] == "2"
+        assert len(set(names.values())) == 3
+
+
+class TestEvictEvent:
+    def test_evict_emits_event_with_lifetime_updates(self):
+        sink = RecordingSink()
+        bank = KeyedEstimatorBank(QUERY, sink=sink)
+        for _ in range(7):
+            bank.update("gone", Record(1.0))
+        assert bank.evict("gone")
+        events = sink.events_named("keyed.evict")
+        assert len(events) == 1
+        assert events[0].fields == {"key": "gone", "updates": 7.0}
+
+    def test_unknown_evict_emits_nothing(self):
+        sink = RecordingSink()
+        bank = KeyedEstimatorBank(QUERY, sink=sink)
+        assert not bank.evict("never")
+        assert sink.count("keyed.evict") == 0.0
+
+
+class TestObsState:
+    def test_default_cardinality_is_key_count_independent(self):
+        # Regression: obs_state() used to mint gauges per live key, so a
+        # scrape's size scaled with the key population.
+        small = KeyedEstimatorBank(QUERY)
+        big = KeyedEstimatorBank(QUERY)
+        small.update("k0", Record(1.0))
+        for i in range(60):
+            big.update(f"k{i}", Record(float(i + 1)))
+        assert len(big.obs_state()) == len(small.obs_state())
+        assert not any(name.startswith("key.") for name in big.obs_state())
+
+    def test_aggregates_report_totals(self):
+        bank = KeyedEstimatorBank(QUERY)
+        for i in range(10):
+            bank.update(f"k{i % 3}", Record(float(i + 1)))
+        state = bank.obs_state()
+        assert state["keys"] == 3.0
+        assert state["updates"] == 10.0
+        assert state["memory_bytes"] > 0.0
+        assert any(name.startswith("total.") for name in state)
+
+    def test_key_detail_opt_in_capped_and_escaped(self):
+        bank = KeyedEstimatorBank(QUERY, obs_key_detail=2)
+        for key in ("dotted.key", "plain", "third"):
+            for _ in range(3):
+                bank.update(key, Record(5.0))
+        state = bank.obs_state()
+        detailed = {name for name in state if name.startswith("key.")}
+        prefixes = {name.rsplit(".", 1)[0] for name in detailed}
+        assert len(prefixes) == 2  # capped at top-K, not all live keys
+        assert any("dotted\\.key" in name for name in detailed) or not any(
+            "dotted" in name for name in detailed
+        )
+
+    def test_colliding_keys_get_distinct_gauges(self):
+        bank = KeyedEstimatorBank(QUERY, obs_key_detail=5)
+        bank.update(1, Record(5.0))
+        bank.update("1", Record(50.0))
+        state = bank.obs_state()
+        estimates = [name for name in state if name.endswith(".estimate")]
+        assert len(estimates) == 2  # "1" and "1#2", never one overwriting
+

@@ -1,0 +1,1 @@
+"""Tests for the heavy-hitter-gated keyed bank (repro.keyed)."""

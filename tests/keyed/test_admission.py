@@ -1,0 +1,227 @@
+"""Property tests for the Space-Saving admission sketch.
+
+The classic Misra–Gries/Space-Saving guarantees, checked against exact
+counters on hypothesis-generated key streams:
+
+* monitored key: ``count - error <= true_hits <= count``;
+* unmonitored key: ``true_hits <= ceiling``;
+* absent promotions/evictions the ceiling obeys the classic
+  ``n / capacity`` bound.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.keyed import SpaceSavingAdmission
+from repro.streams.model import Record
+
+#: Key alphabet deliberately larger than any capacity we test, so streams
+#: exercise both the monitored and the displaced/unmonitored paths.
+key_streams = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=400
+)
+
+
+def _drive(sketch: SpaceSavingAdmission, keys: list[int]) -> Counter:
+    truth: Counter = Counter()
+    for i, key in enumerate(keys):
+        truth[key] += 1
+        sketch.update(key, Record(float(i), float((i % 5) - 2)))
+    return truth
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSavingAdmission(0)
+
+    def test_buffer_limit_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            SpaceSavingAdmission(4, buffer_limit=-1)
+
+
+class TestCountBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_streams, capacity=st.integers(min_value=1, max_value=8))
+    def test_over_and_under_count_guarantees(self, keys, capacity):
+        sketch = SpaceSavingAdmission(capacity)
+        truth = _drive(sketch, keys)
+        for key in set(keys):
+            low, high = sketch.hit_bounds(key)
+            assert low <= truth[key] <= high
+            if key in sketch:
+                slot = sketch.slot(key)
+                assert slot.observed == low and slot.count == high
+                assert slot.error >= 0
+            else:
+                assert low == 0 and high == sketch.ceiling
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_streams, capacity=st.integers(min_value=1, max_value=8))
+    def test_never_seen_key_bounded_by_ceiling(self, keys, capacity):
+        sketch = SpaceSavingAdmission(capacity)
+        _drive(sketch, keys)
+        low, high = sketch.hit_bounds("never-seen")
+        assert low == 0 and high == sketch.ceiling
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_streams, capacity=st.integers(min_value=1, max_value=8))
+    def test_classic_error_bound(self, keys, capacity):
+        # Without promotions or forgetting, every displaced victim held the
+        # minimum count, so the ceiling obeys the classic n/k bound.
+        sketch = SpaceSavingAdmission(capacity)
+        _drive(sketch, keys)
+        assert sketch.ceiling <= len(keys) / capacity
+        assert sketch.total == len(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=key_streams, capacity=st.integers(min_value=1, max_value=8))
+    def test_mass_bound(self, keys, capacity):
+        sketch = SpaceSavingAdmission(capacity)
+        mass: dict[int, float] = {}
+        for i, key in enumerate(keys):
+            y = float((i % 5) - 2)
+            mass[key] = mass.get(key, 0.0) + abs(y)
+            sketch.update(key, Record(float(i), y))
+        for key in set(keys):
+            assert mass[key] <= sketch.mass_bound(key) + 1e-9
+
+    def test_exact_while_under_capacity(self):
+        sketch = SpaceSavingAdmission(16)
+        for i in range(10):
+            sketch.update(i % 4, Record(float(i)))
+        assert sketch.ceiling == 0
+        assert sketch.hit_bounds(0) == (3, 3)
+        assert sketch.hit_bounds(99) == (0, 0)  # genuinely never seen
+
+
+class TestReplayBuffer:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        keys=key_streams,
+        capacity=st.integers(min_value=1, max_value=8),
+        limit=st.integers(min_value=0, max_value=6),
+    )
+    def test_buffer_capped_and_ordered(self, keys, capacity, limit):
+        sketch = SpaceSavingAdmission(capacity, buffer_limit=limit)
+        records: dict[int, list[Record]] = {}
+        for i, key in enumerate(keys):
+            record = Record(float(i), 1.0)
+            slot = sketch.update(key, record)
+            if slot.observed == 1:  # (re-)admission resets the history
+                records[key] = []
+            records[key].append(record)
+        for key in sketch.keys():
+            slot = sketch.slot(key)
+            assert len(slot.buffer) <= limit
+            assert slot.buffer == records[key][: len(slot.buffer)]
+
+    def test_error_free_slot_buffers_complete_history(self):
+        sketch = SpaceSavingAdmission(4, buffer_limit=10)
+        for i in range(8):
+            sketch.update("k", Record(float(i)))
+        slot = sketch.slot("k")
+        assert slot.error == 0 and len(slot.buffer) == 8
+        assert slot.count - len(slot.buffer) == 0  # nothing missed
+
+
+class TestForgottenCeiling:
+    def test_removal_with_forget_raises_ceiling(self):
+        sketch = SpaceSavingAdmission(4)
+        for _ in range(5):
+            sketch.update("hot", Record(1.0))
+        assert sketch.ceiling == 0
+        sketch.remove("hot", forget=True)
+        assert sketch.ceiling == 5
+        # The forgotten key's true history stays inside the bound.
+        low, high = sketch.hit_bounds("hot")
+        assert low == 0 and high >= 5
+
+    def test_promotion_style_removal_keeps_ceiling(self):
+        sketch = SpaceSavingAdmission(4)
+        for _ in range(5):
+            sketch.update("hot", Record(1.0))
+        sketch.remove("hot")  # history lives on elsewhere
+        assert sketch.ceiling == 0
+
+    def test_freed_slot_admissions_stay_sound(self):
+        # The scenario that breaks the classic min-count argument: fill the
+        # sketch, displace a key, then *free* a slot.  A newcomer enters the
+        # free slot with the monotone ceiling as its error, so the
+        # previously displaced key's bound still holds.
+        sketch = SpaceSavingAdmission(2)
+        for _ in range(4):
+            sketch.update("a", Record(1.0))
+        for _ in range(3):
+            sketch.update("b", Record(1.0))
+        sketch.update("victim", Record(1.0))  # displaces the min slot ("b")
+        assert sketch.ceiling >= 3
+        sketch.remove("victim")  # promotion frees a slot
+        slot = sketch.update("newcomer", Record(1.0))
+        assert slot.error == sketch.ceiling  # charged the monotone bound
+        low, high = sketch.hit_bounds("b")
+        assert high >= 3  # the displaced key's true count is still boxed
+
+    def test_raise_ceiling_monotone(self):
+        sketch = SpaceSavingAdmission(4)
+        sketch.raise_ceiling(10)
+        sketch.raise_ceiling(3)
+        assert sketch.ceiling == 10
+
+
+class TestReinsert:
+    def test_reinsert_restores_exact_counters(self):
+        sketch = SpaceSavingAdmission(4)
+        slot = sketch.reinsert("back", hits=12, mass=30.0, missed=0, promote_at=20)
+        assert slot.observed == 12 and slot.error == 0
+        assert slot.promote_at == 20
+        assert sketch.hit_bounds("back") == (12, 12)
+
+    def test_reinsert_with_missed_carries_error(self):
+        sketch = SpaceSavingAdmission(4)
+        slot = sketch.reinsert("back", hits=10, mass=5.0, missed=3)
+        assert slot.count == 13 and slot.error == 3
+        assert sketch.hit_bounds("back") == (10, 13)
+
+    def test_reinsert_into_full_sketch_clamps_to_victim(self):
+        sketch = SpaceSavingAdmission(2)
+        for _ in range(6):
+            sketch.update("a", Record(1.0))
+        for _ in range(6):
+            sketch.update("b", Record(1.0))
+        slot = sketch.reinsert("cold", hits=1, mass=1.0)
+        # The displaced victim had count 6; the reinserted slot's count is
+        # clamped up so the victim's bound (via the ceiling) stays sound.
+        assert slot.count >= 6
+        assert slot.observed == 1
+        assert sketch.ceiling >= 6
+
+    def test_reinsert_monitored_key_rejected(self):
+        sketch = SpaceSavingAdmission(4)
+        sketch.update("k", Record(1.0))
+        with pytest.raises(ConfigurationError):
+            sketch.reinsert("k", hits=1, mass=0.0)
+
+    def test_reinsert_negative_counters_rejected(self):
+        sketch = SpaceSavingAdmission(4)
+        with pytest.raises(ConfigurationError):
+            sketch.reinsert("k", hits=-1, mass=0.0)
+
+
+class TestObsState:
+    def test_gauges_are_flat_floats(self):
+        sketch = SpaceSavingAdmission(4, buffer_limit=2)
+        for i in range(20):
+            sketch.update(i % 7, Record(float(i)))
+        state = sketch.obs_state()
+        assert state["capacity"] == 4.0
+        assert state["slots"] == 4.0
+        assert state["total"] == 20.0
+        assert all(isinstance(v, float) for v in state.values())
+        assert state["buffered_records"] <= 4 * 2

@@ -198,6 +198,29 @@ class TestRecordingSink:
         assert sink.count("tick") == 5.0
         assert sink.registry.value("events.dropped") == 3.0
 
+    def test_label_cardinality_capped(self):
+        # Regression: a keyed bank emits one lifecycle event per *key*, so
+        # an uncapped string field would mint one counter per key and a
+        # scrape would scale with the key population.
+        sink = RecordingSink(max_label_values=3)
+        for i in range(10):
+            sink.emit("keyed.promote", key=f"k{i}")
+        sink.emit("keyed.promote", key="k0")  # established value still counts
+        registry = sink.registry
+        assert registry.value("keyed.promote.key.k0") == 2.0
+        assert registry.value("keyed.promote.key.k2") == 1.0
+        assert registry.value("keyed.promote.key.k5") == 0.0
+        assert registry.value("keyed.promote.key.__other__") == 7.0
+        # Raw retained events keep the exact key regardless of the cap.
+        assert len(sink.events_named("keyed.promote")) == 11
+
+    def test_label_cap_is_per_series(self):
+        sink = RecordingSink(max_label_values=1)
+        sink.emit("a", reason="x")
+        sink.emit("b", reason="y")  # a different series: its own budget
+        assert sink.registry.value("a.reason.x") == 1.0
+        assert sink.registry.value("b.reason.y") == 1.0
+
     def test_satisfies_protocol(self):
         assert isinstance(RecordingSink(), ObsSink)
 

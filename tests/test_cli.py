@@ -382,3 +382,48 @@ class TestShardFlags:
         code = main([*self.ESTIMATE, "--shards", "2", "--window", "100"])
         assert code == 2
         assert "not shardable" in capsys.readouterr().err
+
+
+class TestKeyed:
+    KEYED = [
+        "keyed",
+        "--dataset",
+        "ZIPF",
+        "--size",
+        "3000",
+        "--keys",
+        "500",
+        "--sketch-capacity",
+        "128",
+        "--promote-after",
+        "8",
+        "--top",
+        "5",
+    ]
+
+    def test_keyed_run_prints_top_table(self, capsys):
+        assert main(self.KEYED) == 0
+        out = capsys.readouterr().out
+        assert "zipf(1.1) keys" in out
+        assert "estimate" in out and "interval" in out and "kind" in out
+        assert "promoted" in out
+        assert "throughput" in out
+
+    def test_keyed_with_budget_and_metrics(self, capsys):
+        code = main([*self.KEYED, "--budget-kb", "64", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "budget 64 KiB" in out
+        assert "events.keyed.promote" in out
+
+    def test_keyed_paper_notation_query(self, capsys):
+        code = main(
+            [*self.KEYED, "--query", "SUM{y: x <= (1+9)*MIN(x)}"]
+        )
+        assert code == 0
+        assert "SUM" in capsys.readouterr().out
+
+    def test_keyed_invalid_config_is_reported_not_raised(self, capsys):
+        code = main([*self.KEYED, "--promote-after", "0"])
+        assert code == 2
+        assert "promote_threshold" in capsys.readouterr().err

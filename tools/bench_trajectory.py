@@ -41,6 +41,17 @@ def _headline(report: dict) -> dict[str, object]:
         }
     if "speedup" in report:
         return {"speedup": report["speedup"]}
+    if "distinct_keys" in report:
+        return {
+            "distinct_keys": report["distinct_keys"],
+            "tuples_per_second": report.get("tuples_per_second"),
+            "promoted": report.get("bank", {}).get("promoted"),
+            "bound_violations": report.get("validation", {}).get(
+                "bound_violations"
+            ),
+            "sound": report.get("sound"),
+            "cpu_count": report.get("machine", {}).get("cpu_count"),
+        }
     if "curve" in report:
         return {
             "speedup_at_4": report.get("speedup_at_4"),
